@@ -1,0 +1,59 @@
+"""Ablation: backend "solver" choice under the PRIMACY preconditioner.
+
+Paper (Sec V): "PRIMACY shows substantial improvements on both
+compression ratio and throughput using bzlib2 and lzo [as well];
+throughput figures, though improved upon standalone bzlib2, are still
+too low for in-situ processing."  This ablation runs the preconditioner
+over each backend and compares against the same backend standalone.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_CHUNK_BYTES, Table, dataset_bytes, time_call
+
+from repro.compressors import get_codec
+from repro.core import PrimacyCompressor, PrimacyConfig
+
+_BACKENDS = ("pyzlib", "pylzo", "pybzip")
+_DATASET = "obs_temp"
+
+
+def test_backend_ablation(once):
+    def run():
+        data = dataset_bytes(_DATASET)
+        rows = []
+        for backend in _BACKENDS:
+            codec = get_codec(backend)
+            vanilla_out, vanilla_s = time_call(codec.compress, data)
+            compressor = PrimacyCompressor(
+                PrimacyConfig(codec=backend, chunk_bytes=BENCH_CHUNK_BYTES)
+            )
+            (out, _), prim_s = time_call(compressor.compress, data)
+            rows.append(
+                (
+                    backend,
+                    len(data) / len(vanilla_out),
+                    len(data) / len(out),
+                    len(data) / 1e6 / vanilla_s,
+                    len(data) / 1e6 / prim_s,
+                )
+            )
+        return rows
+
+    rows = once(run)
+    table = Table(
+        f"Ablation -- PRIMACY over different backend solvers ({_DATASET})",
+        ["backend", "vanilla CR", "PRIMACY CR", "vanilla CTP", "PRIMACY CTP"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.note("paper Sec V: gains hold over zlib, lzo and bzlib2 backends; "
+               "bzlib2 stays too slow for in-situ use even preconditioned")
+    table.emit("backends.txt")
+
+    for backend, v_cr, p_cr, v_ctp, p_ctp in rows:
+        assert p_cr > v_cr, backend  # preconditioning improves every solver
+        assert p_ctp > v_ctp, backend  # and speeds every solver up
+    # bzip2-analogue remains the slowest option even preconditioned.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["pybzip"][4] < by_name["pyzlib"][4]

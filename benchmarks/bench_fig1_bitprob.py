@@ -1,0 +1,48 @@
+"""Figure 1: probability of the dominant bit value per bit position.
+
+Paper: on GTS_phi, num_plasma, obs_temp and msg_sweep3D the sign/exponent
+bit positions show p well above 0.5 while the mantissa positions hover at
+p ~ 0.5.  Expected reproduction: the same exponent/mantissa contrast on
+the synthetic stand-ins (the quantized datasets additionally show a
+regular *tail*, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_VALUES, Table, dataset_bytes
+
+from repro.analysis import bit_probability_profile
+from repro.datasets import FIGURE1_DATASETS
+
+
+def test_fig1_bit_probability(once):
+    def run():
+        return {
+            name: bit_probability_profile(dataset_bytes(name), name=name)
+            for name in FIGURE1_DATASETS
+        }
+
+    profiles = once(run)
+
+    table = Table(
+        f"Figure 1 -- dominant-bit probability by position ({BENCH_VALUES} values/dataset)",
+        ["dataset", "bits 0-7", "bits 8-15", "bits 16-31", "bits 32-63",
+         "exp mean", "mantissa mean"],
+    )
+    for name, prof in profiles.items():
+        p = prof.probabilities
+        table.add(
+            name,
+            float(p[0:8].mean()),
+            float(p[8:16].mean()),
+            float(p[16:32].mean()),
+            float(p[32:64].mean()),
+            prof.exponent_mean,
+            prof.mantissa_mean,
+        )
+    table.note("paper: exponent region p >> 0.5, mantissa p ~ 0.5")
+    table.emit("fig1_bitprob.txt")
+
+    for prof in profiles.values():
+        assert prof.exponent_mean > 0.7
+        assert float(prof.probabilities[16:32].mean()) < 0.7

@@ -1,0 +1,117 @@
+"""Section III: performance-model parameter sweeps (Eqns 3-13).
+
+The paper offers the model so developers can predict I/O performance on
+*target systems* without running there.  This bench exercises the model
+across a rho sweep and a compressor-speed sweep and records where
+compression stops paying -- the design question the model answers.
+
+Expected shapes: (a) the compression win shrinks as the network gets
+faster relative to the compressor; (b) there is a compressor-throughput
+break-even below which the null case wins; (c) base-case throughput
+saturates with rho while the compressed case scales further (compression
+happens in parallel at the compute nodes).
+"""
+
+from __future__ import annotations
+
+from _common import Table
+
+from repro.model import (
+    ModelInputs,
+    predict_base_write,
+    predict_compressed_write,
+)
+
+
+def _inputs(**overrides) -> ModelInputs:
+    defaults = dict(
+        chunk_bytes=3e6,
+        rho=8.0,
+        network_bps=34e6,
+        disk_write_bps=34e6,
+        preconditioner_bps=400e6,
+        compressor_bps=60e6,
+        alpha1=0.25,
+        alpha2=0.3,
+        sigma_ho=0.1,
+        sigma_lo=0.8,
+        metadata_bytes=4e3,
+    )
+    defaults.update(overrides)
+    return ModelInputs(**defaults)
+
+
+def test_model_rho_sweep(once):
+    def run():
+        rows = []
+        for rho in [1, 2, 4, 8, 16, 32, 64]:
+            inp = _inputs(rho=float(rho))
+            base = predict_base_write(inp).throughput_mbps(inp)
+            comp = predict_compressed_write(inp).throughput_mbps(inp)
+            rows.append((rho, base, comp, comp / base))
+        return rows
+
+    rows = once(run)
+    table = Table(
+        "Model -- end-to-end write throughput vs compute/IO ratio rho",
+        ["rho", "null MB/s", "PRIMACY MB/s", "speedup"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.note("compression wins at every rho; gain grows as the shared "
+               "network becomes the bottleneck")
+    table.emit("model_rho_sweep.txt")
+
+    speedups = [r[3] for r in rows]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] >= speedups[0]  # more contention -> bigger win
+
+
+def test_model_compressor_breakeven(once):
+    def run():
+        rows = []
+        for comp_mbps in [1, 2, 5, 10, 20, 60, 200, 1000]:
+            inp = _inputs(compressor_bps=comp_mbps * 1e6)
+            base = predict_base_write(inp).throughput_mbps(inp)
+            comp = predict_compressed_write(inp).throughput_mbps(inp)
+            rows.append((comp_mbps, base, comp, comp / base))
+        return rows
+
+    rows = once(run)
+    table = Table(
+        "Model -- compression break-even vs compressor throughput",
+        ["Tcomp MB/s", "null MB/s", "PRIMACY MB/s", "speedup"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.note("slow compressors (bzlib2 regime) lose; fast ones win -- the "
+               "paper's motivation for a fast preconditioner")
+    table.emit("model_breakeven.txt")
+
+    assert rows[0][3] < 1.0  # 1 MB/s compressor: compression hurts
+    assert rows[-1][3] > 1.1  # fast compressor: clear win
+    speedups = [r[3] for r in rows]
+    assert speedups == sorted(speedups)
+
+
+def test_model_metadata_sensitivity(once):
+    """The paper charges metadata delta; it must never help."""
+
+    def run():
+        rows = []
+        for delta_kb in [0, 1, 4, 16, 64, 256]:
+            inp = _inputs(metadata_bytes=delta_kb * 1e3)
+            comp = predict_compressed_write(inp).throughput_mbps(inp)
+            rows.append((delta_kb, comp))
+        return rows
+
+    rows = once(run)
+    table = Table(
+        "Model -- sensitivity to index metadata size (delta)",
+        ["delta KB", "PRIMACY MB/s"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.emit("model_metadata.txt")
+    taus = [r[1] for r in rows]
+    assert taus == sorted(taus, reverse=True)

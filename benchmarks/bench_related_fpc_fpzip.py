@@ -1,0 +1,102 @@
+"""Section V: PRIMACY vs the predictive coders fpc and fpzip.
+
+Paper: PRIMACY's compression ratio beats fpc on 16/20 (80 %) and fpzip
+on 13/20 (65 %) of the original datasets; after *reorganizing* (permuting)
+the data, PRIMACY beats fpc on 20/20 and fpzip on 19/20 -- predictive
+coders depend on dimensional correlation, PRIMACY does not.
+
+Expected reproduction: majority CR wins on original data and near-sweep
+on permuted data.  NOTE on throughput: the paper also reports 2-3x CTP
+advantages over fpc/fpzip; that relation is implementation-bound (our
+fpzip analogue is embarrassingly vectorizable in NumPy while the
+byte-level pipeline is not) and is *not* asserted here -- see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_CHUNK_BYTES, BENCH_SEED, BENCH_VALUES, Table, dataset_bytes
+
+from repro.analysis import permute_values
+from repro.compressors import get_codec
+from repro.core import PrimacyCodec, PrimacyConfig
+from repro.datasets import dataset_names
+
+
+def _cr(codec, data: bytes) -> float:
+    return len(data) / len(codec.compress(data))
+
+
+def test_related_work_comparison(once):
+    def run():
+        fpc = get_codec("fpc")
+        fpzip = get_codec("fpzip")
+        rows = {}
+        for name in dataset_names():
+            data = dataset_bytes(name)
+            permuted = permute_values(data, seed=BENCH_SEED)
+            primacy = PrimacyCodec(PrimacyConfig(chunk_bytes=BENCH_CHUNK_BYTES))
+            rows[name] = (
+                _cr(primacy, data),
+                _cr(fpc, data),
+                _cr(fpzip, data),
+                _cr(primacy, permuted),
+                _cr(fpc, permuted),
+                _cr(fpzip, permuted),
+            )
+        return rows
+
+    rows = once(run)
+    table = Table(
+        f"Sec V -- PRIMACY vs fpc / fpzip compression ratio "
+        f"({BENCH_VALUES} values/dataset)",
+        ["dataset", "P", "fpc", "fpzip", "P perm", "fpc perm", "fpzip perm"],
+    )
+    wins_fpc = wins_fpzip = perm_wins_fpc = perm_wins_fpzip = 0
+    for name, (p, fc, fz, pp, fcp, fzp) in rows.items():
+        table.add(name, p, fc, fz, pp, fcp, fzp)
+        wins_fpc += p > fc
+        wins_fpzip += p > fz
+        perm_wins_fpc += pp > fcp
+        perm_wins_fpzip += pp > fzp
+
+    table.note(f"original data: PRIMACY > fpc on {wins_fpc}/20 (paper 16/20), "
+               f"> fpzip on {wins_fpzip}/20 (paper 13/20)")
+    table.note(f"permuted data: PRIMACY > fpc on {perm_wins_fpc}/20 "
+               f"(paper 20/20), > fpzip on {perm_wins_fpzip}/20 (paper 19/20)")
+    table.emit("related_fpc_fpzip.txt")
+
+    # Shape: clear majority wins on original data (with the predictors
+    # taking the smoothest datasets), near-sweep after permutation.
+    assert 12 <= wins_fpc <= 19
+    assert 11 <= wins_fpzip <= 18
+    assert perm_wins_fpc >= wins_fpc
+    assert perm_wins_fpzip >= wins_fpzip
+    assert perm_wins_fpc >= 17
+    assert perm_wins_fpzip >= 17
+
+
+def test_permutation_hurts_predictors_not_primacy(once):
+    """The mechanism behind the Sec-V sweep: permutation erases the
+    dimensional correlation predictors rely on while PRIMACY's per-chunk
+    frequency statistics are order-insensitive."""
+
+    def run():
+        name = "flash_gamc"  # smooth: the predictors' best case
+        data = dataset_bytes(name)
+        permuted = permute_values(data, seed=BENCH_SEED)
+        primacy = PrimacyCodec(PrimacyConfig(chunk_bytes=BENCH_CHUNK_BYTES))
+        fpzip = get_codec("fpzip")
+        return (
+            _cr(primacy, data),
+            _cr(primacy, permuted),
+            _cr(fpzip, data),
+            _cr(fpzip, permuted),
+        )
+
+    p_orig, p_perm, fz_orig, fz_perm = once(run)
+    # fpzip loses much more from permutation than PRIMACY does.
+    fz_loss = fz_orig / fz_perm
+    p_loss = p_orig / p_perm
+    assert fz_loss > p_loss
+    assert p_loss < 1.15  # PRIMACY nearly unaffected

@@ -1,0 +1,58 @@
+"""Ablation: where PRIMACY's compression time goes, per dataset.
+
+The paper's pitch is that preconditioning is cheap relative to the solver
+it accelerates ("fast analysis ... at speeds suitable for in-situ
+processing").  This bench splits each compression run into its
+preconditioning time (split + frequency analysis + ID mapping +
+linearization + ISOBAR analysis) and backend-codec time, across all 20
+datasets -- quantifying the paper's implicit claim that T_prec >> T_comp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import BENCH_VALUES, Table, dataset_bytes
+
+from repro.core import PrimacyCompressor, PrimacyConfig
+from repro.datasets import dataset_names
+
+
+def test_stage_breakdown(once):
+    def run():
+        rows = {}
+        for name in dataset_names():
+            data = dataset_bytes(name)
+            pc = PrimacyCompressor(PrimacyConfig(chunk_bytes=len(data)))
+            _, stats = pc.compress(data)
+            prec = sum(c.prec_seconds for c in stats.chunks)
+            codec = sum(c.codec_seconds for c in stats.chunks)
+            rows[name] = (
+                stats.preconditioner_mbps,
+                stats.compressor_mbps,
+                prec / (prec + codec) if prec + codec > 0 else 0.0,
+            )
+        return rows
+
+    rows = once(run)
+    table = Table(
+        f"Ablation -- PRIMACY stage cost breakdown ({BENCH_VALUES} values/dataset)",
+        ["dataset", "T_prec MB/s", "T_comp MB/s", "prec share of CPU"],
+    )
+    prec_shares = []
+    ratios = []
+    for name, (tprec, tcomp, share) in rows.items():
+        table.add(name, tprec, tcomp, share)
+        prec_shares.append(share)
+        ratios.append(tprec / tcomp if np.isfinite(tcomp) and tcomp > 0 else 1.0)
+    table.note(
+        f"preconditioning takes {100 * float(np.mean(prec_shares)):.0f}% of "
+        "CPU on average; the backend solver dominates -- the paper's "
+        "premise that the preconditioner is cheap relative to the solver"
+    )
+    table.emit("stage_breakdown.txt")
+
+    # The preconditioner must not dominate: on most datasets the solver
+    # is the bottleneck (that is what makes preconditioning worthwhile).
+    assert float(np.median(prec_shares)) < 0.5
+    assert all(s < 0.9 for s in prec_shares)

@@ -1,0 +1,23 @@
+"""Benchmark-suite fixtures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Plug a custom compressor behind the PRIMACY preconditioner.
+
+PRIMACY is a *preconditioner*: any byte-level codec can serve as the
+"solver" behind it (the paper demonstrates zlib, lzo, and bzlib2).  This
+example implements a tiny custom codec -- run-length + order-0 Huffman,
+a reasonable 20-line entropy coder -- registers it, and runs PRIMACY on
+top of it, showing the preconditioner's gain is not specific to any one
+backend.
+
+Run:  python examples/custom_backend.py
+"""
+
+from __future__ import annotations
+
+from repro.compressors import Codec, get_codec, register_codec
+from repro.compressors.huffman import decode_symbol_block, encode_symbol_block
+from repro.compressors.rle import RleCodec
+from repro.core import PrimacyCompressor, PrimacyConfig
+from repro.datasets import generate_bytes
+
+
+@register_codec
+class RleHuffmanCodec(Codec):
+    """Byte RLE followed by order-0 Huffman: simple but honest."""
+
+    name = "rle-huffman"
+
+    def __init__(self) -> None:
+        self._rle = RleCodec()
+
+    def compress(self, data: bytes) -> bytes:
+        import numpy as np
+
+        rle = self._rle.compress(data)
+        return encode_symbol_block(np.frombuffer(rle, dtype=np.uint8), 256)
+
+    def decompress(self, data: bytes) -> bytes:
+        symbols, _ = decode_symbol_block(data)
+        import numpy as np
+
+        return self._rle.decompress(symbols.astype(np.uint8).tobytes())
+
+
+def main() -> None:
+    data = generate_bytes("num_plasma", 32768, seed=9)
+    print(f"dataset: num_plasma, {len(data):,} bytes")
+    print()
+
+    custom = get_codec("rle-huffman")
+    vanilla_size = len(custom.compress(data))
+    assert custom.decompress(custom.compress(data)) == data
+
+    primacy = PrimacyCompressor(
+        PrimacyConfig(codec="rle-huffman", chunk_bytes=256 * 1024)
+    )
+    out, stats = primacy.compress(data)
+    assert primacy.decompress(out) == data
+
+    print(f"vanilla {custom.name}:        CR = {len(data) / vanilla_size:.3f}")
+    print(f"PRIMACY + {custom.name}:      CR = {stats.compression_ratio:.3f}")
+    print()
+    print("The ID mapping concentrated the exponent bytes into runs of")
+    print("low values -- exactly what an RLE-based backend exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Reproduce the paper's data analysis (Figures 1 and 3) on any dataset.
+
+Shows *why* PRIMACY's 2/6 byte split works: the sign/exponent bit
+positions are highly regular while mantissa bits are coin flips (Fig 1),
+and the 2-byte exponent sequences concentrate on a tiny subset of the
+65,536 possibilities while mantissa pairs spread thin (Fig 3).
+
+Run:  python examples/dataset_analysis.py [dataset ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    bit_probability_profile,
+    byte_sequence_frequencies,
+    repeatability_gain,
+)
+from repro.datasets import FIGURE1_DATASETS, dataset_names, generate
+
+
+def ascii_plot(probs, width: int = 64) -> str:
+    """One-line ASCII rendition of the Fig-1 curve (p per bit position)."""
+    glyphs = " .:-=+*#%@"
+    out = []
+    for p in probs:
+        level = int((p - 0.5) * 2 * (len(glyphs) - 1) + 0.5)
+        out.append(glyphs[max(0, min(level, len(glyphs) - 1))])
+    return "".join(out[:width])
+
+
+def analyze(name: str) -> None:
+    values = generate(name, 16384, seed=1)
+    prof = bit_probability_profile(values, name=name)
+    exp, man = byte_sequence_frequencies(values, name=name)
+    rep = repeatability_gain(values, name=name)
+
+    print(f"=== {name} ===")
+    print(f"  Fig 1 | bit regularity (sign..exponent..mantissa):")
+    print(f"        |{ascii_plot(prof.probabilities)}|")
+    print(f"        | exponent mean p = {prof.exponent_mean:.3f}, "
+          f"mantissa mean p = {prof.mantissa_mean:.3f}")
+    print(f"  Fig 3 | unique exponent byte-pairs: {exp.n_unique:6d} / 65536 "
+          f"(top-100 hold {100 * exp.top_k_mass(100):.1f}% of the data)")
+    print(f"        | unique mantissa byte-pairs: {man.n_unique:6d} / 65536 "
+          f"(top-100 hold {100 * man.top_k_mass(100):.1f}%)")
+    print(f"  II-C  | top-byte share {rep.top_byte_before:.3f} -> "
+          f"{rep.top_byte_after:.3f} after ID mapping "
+          f"({rep.top_byte_gain:+.3f})")
+    print()
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(FIGURE1_DATASETS)
+    known = set(dataset_names())
+    for name in names:
+        if name not in known:
+            print(f"unknown dataset {name!r}; choices: {', '.join(known)}")
+            return
+        analyze(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Use the Section-III model to plan a deployment (the paper's stated goal).
+
+"We provide an analytical performance model that can enable prediction of
+I/O performance on target systems both with and without applied
+compression and additionally help application developers in choosing
+particular configurations."
+
+This example calibrates the model from one real PRIMACY run on this
+host, then answers three planning questions for a hypothetical cluster:
+
+1. Does compression pay off on *this* machine's balance at all?
+2. How does the gain change with the compute-to-I/O-node ratio rho?
+3. How fast would the network have to get before compression stops
+   being worth it?
+
+Run:  python examples/performance_model.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import PrimacyCompressor, PrimacyConfig
+from repro.datasets import generate_bytes
+from repro.model import (
+    calibrate_from_stats,
+    predict_base_write,
+    predict_compressed_write,
+)
+
+
+def main() -> None:
+    # --- calibrate alpha/sigma/T_prec/T_comp from one measured run ---
+    data = generate_bytes("obs_temp", 65536, seed=3)
+    compressor = PrimacyCompressor(PrimacyConfig(chunk_bytes=128 * 1024))
+    _, stats = compressor.compress(data)
+
+    inputs = calibrate_from_stats(
+        stats,
+        chunk_bytes=3e6,  # the paper's 3 MB chunks
+        rho=8,
+        network_bps=1.2e6,  # a network balanced against our Python codecs
+        disk_write_bps=1.2e6,
+    )
+    print("calibrated model inputs:")
+    print(f"  alpha1={inputs.alpha1:.3f} alpha2={inputs.alpha2:.3f} "
+          f"sigma_ho={inputs.sigma_ho:.3f} sigma_lo={inputs.sigma_lo:.3f}")
+    print(f"  T_prec={inputs.preconditioner_bps / 1e6:.1f} MB/s "
+          f"T_comp={inputs.compressor_bps / 1e6:.1f} MB/s")
+    print()
+
+    # --- question 1: does compression pay on this balance? ---
+    base = predict_base_write(inputs).throughput_mbps(inputs)
+    comp = predict_compressed_write(inputs).throughput_mbps(inputs)
+    print(f"Q1: null={base:.2f} MB/s, PRIMACY={comp:.2f} MB/s "
+          f"-> {'YES' if comp > base else 'NO'} "
+          f"({100 * (comp / base - 1):+.0f}%)")
+    print()
+
+    # --- question 2: sensitivity to rho ---
+    print("Q2: gain vs compute-to-I/O ratio")
+    for rho in (2, 4, 8, 16, 32):
+        inp = replace(inputs, rho=float(rho))
+        b = predict_base_write(inp).throughput_mbps(inp)
+        c = predict_compressed_write(inp).throughput_mbps(inp)
+        bar = "#" * max(0, int(50 * (c / b - 1)))
+        print(f"  rho={rho:3d}: {100 * (c / b - 1):+6.1f}%  {bar}")
+    print()
+
+    # --- question 3: network break-even ---
+    print("Q3: how fast can the network get before compression stops paying?")
+    for factor in (1, 2, 4, 8, 16, 32):
+        inp = replace(
+            inputs,
+            network_bps=inputs.network_bps * factor,
+            disk_write_bps=inputs.disk_write_bps * factor,
+        )
+        b = predict_base_write(inp).throughput_mbps(inp)
+        c = predict_compressed_write(inp).throughput_mbps(inp)
+        verdict = "compress" if c > b else "don't compress"
+        print(f"  {factor:3d}x faster I/O: null={b:8.2f}, "
+              f"PRIMACY={c:8.2f} -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: compress scientific float data with PRIMACY.
+
+Generates a hard-to-compress synthetic dataset, compresses it with the
+zlib-analogue baseline and with PRIMACY, verifies losslessness, and
+prints the comparison the paper's Table III makes.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import PrimacyCodec, available_codecs, get_codec
+from repro.datasets import generate_bytes
+
+
+def measure(codec, data: bytes) -> tuple[float, float, float]:
+    """(compression ratio, compress MB/s, decompress MB/s)."""
+    t0 = time.perf_counter()
+    compressed = codec.compress(data)
+    t_c = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    restored = codec.decompress(compressed)
+    t_d = time.perf_counter() - t0
+    assert restored == data, "lossless round trip violated!"
+    mb = len(data) / 1e6
+    return len(data) / len(compressed), mb / t_c, mb / t_d
+
+
+def main() -> None:
+    print("Registered codecs:", ", ".join(available_codecs()))
+    print()
+
+    # A GTS-like fusion checkpoint: random mantissas, narrow exponent range.
+    data = generate_bytes("gts_chkp_zeon", n_values=32768, seed=42)
+    print(f"dataset: gts_chkp_zeon, {len(data):,} bytes of float64")
+    print()
+
+    baseline = get_codec("pyzlib")
+    cr, ctp, dtp = measure(baseline, data)
+    print(f"vanilla zlib-analogue:  CR={cr:5.3f}  CTP={ctp:6.2f} MB/s  DTP={dtp:6.2f} MB/s")
+
+    primacy = PrimacyCodec(chunk_bytes=256 * 1024)
+    cr_p, ctp_p, dtp_p = measure(primacy, data)
+    print(f"PRIMACY + zlib:         CR={cr_p:5.3f}  CTP={ctp_p:6.2f} MB/s  DTP={dtp_p:6.2f} MB/s")
+    print()
+
+    stats = primacy.last_stats
+    print("PRIMACY run statistics (the performance model's inputs):")
+    print(f"  alpha1 (ID-mapped fraction):        {stats.alpha1:.3f}")
+    print(f"  alpha2 (compressible mantissa):     {stats.alpha2:.3f}")
+    print(f"  sigma_ho (high-order compressed):   {stats.sigma_ho:.3f}")
+    print(f"  sigma_lo (low-order compressed):    {stats.sigma_lo:.3f}")
+    print(f"  index metadata:                     {stats.metadata_bytes} bytes")
+    print()
+    print(f"PRIMACY improved CR by {100 * (cr_p / cr - 1):.1f}% and "
+          f"compression throughput by {ctp_p / ctp:.1f}x over vanilla zlib.")
+
+
+if __name__ == "__main__":
+    main()

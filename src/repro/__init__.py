@@ -1,0 +1,61 @@
+"""PRIMACY reproduction: preconditioned lossless compression for HPC I/O.
+
+Reproduction of *"Improving I/O Throughput with PRIMACY: Preconditioning
+ID-Mapper for Compressing Incompressibility"* (IEEE CLUSTER 2012),
+including every substrate the paper depends on:
+
+* :mod:`repro.compressors` -- from-scratch zlib/lzo/bzip2 analogues plus
+  the fpc and fpzip predictive comparators.
+* :mod:`repro.isobar` -- the ISOBAR sampling analyzer and byte-column
+  partitioner.
+* :mod:`repro.core` -- the PRIMACY preconditioner, ID mapper, and chunked
+  container format.
+* :mod:`repro.model` -- the analytical end-to-end performance model
+  (Sec III, Eqns 3-13).
+* :mod:`repro.iosim` -- a bulk-synchronous staging-I/O simulator standing
+  in for the Jaguar XK6 environment.
+* :mod:`repro.datasets` -- synthetic generators for the paper's 20
+  scientific datasets.
+* :mod:`repro.analysis` -- the bit/byte statistics behind Figures 1 and 3.
+
+Quick start::
+
+    import numpy as np
+    from repro import PrimacyCodec
+
+    data = np.random.default_rng(0).normal(300, 1, 1 << 16).tobytes()
+    codec = PrimacyCodec()
+    compressed = codec.compress(data)
+    assert codec.decompress(compressed) == data
+"""
+
+from repro.compressors import (
+    Codec,
+    CodecError,
+    CodecMetrics,
+    available_codecs,
+    evaluate_codec,
+    get_codec,
+)
+from repro.core import (
+    PrimacyCodec,
+    PrimacyCompressor,
+    PrimacyConfig,
+    PrimacyStats,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "CodecMetrics",
+    "available_codecs",
+    "evaluate_codec",
+    "get_codec",
+    "PrimacyCodec",
+    "PrimacyCompressor",
+    "PrimacyConfig",
+    "PrimacyStats",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Statistical analyses behind the paper's figures and side experiments.
+
+* :mod:`repro.analysis.bitprob` -- per-bit-position dominant-value
+  probability (Figure 1).
+* :mod:`repro.analysis.bytefreq` -- exponent/mantissa byte-sequence
+  frequency distributions (Figure 3a/3b).
+* :mod:`repro.analysis.repeatability` -- byte-repeatability gain of the ID
+  mapping (the ~15 % figure of Sec II-C).
+* :mod:`repro.analysis.permute` -- user-controlled linearization
+  (permutation) experiments (Sec IV-G).
+* :mod:`repro.analysis.index_correlation` -- chunk-to-chunk frequency
+  correlation study motivating index reuse (Sec II-F).
+"""
+
+from repro.analysis.bitprob import bit_probability_profile
+from repro.analysis.bytefreq import byte_sequence_frequencies
+from repro.analysis.index_correlation import chunk_frequency_correlations
+from repro.analysis.permute import permute_values
+from repro.analysis.repeatability import repeatability_gain
+from repro.analysis.probe import CompressibilityProbe, estimate_compressibility
+from repro.analysis.report import codec_comparison_rows, dataset_report
+
+__all__ = [
+    "bit_probability_profile",
+    "byte_sequence_frequencies",
+    "repeatability_gain",
+    "permute_values",
+    "chunk_frequency_correlations",
+    "dataset_report",
+    "codec_comparison_rows",
+    "CompressibilityProbe",
+    "estimate_compressibility",
+]

@@ -1,0 +1,51 @@
+"""Figure 1: probability of the dominant bit value per bit position.
+
+The paper's motivating observation: over the 64 bit positions of a double,
+the sign/exponent bits are highly regular (p approaching 1) while mantissa
+bits approach a coin flip (p = 0.5).  That regularity boundary is what the
+2/6 byte split exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.entropy import bit_position_probability
+
+__all__ = ["BitProbabilityProfile", "bit_probability_profile"]
+
+
+@dataclass(frozen=True)
+class BitProbabilityProfile:
+    """Per-bit-position dominance probabilities for one dataset."""
+
+    name: str
+    probabilities: np.ndarray  # length 64, index 0 = sign bit
+
+    @property
+    def exponent_mean(self) -> float:
+        """Mean dominance over the high-order 2 bytes (bits 0-15)."""
+        return float(self.probabilities[:16].mean())
+
+    @property
+    def mantissa_mean(self) -> float:
+        """Mean dominance over the low-order 6 bytes (bits 16-63)."""
+        return float(self.probabilities[16:].mean())
+
+    @property
+    def split_contrast(self) -> float:
+        """Exponent-vs-mantissa regularity gap; positive = Figure 1's shape."""
+        return self.exponent_mean - self.mantissa_mean
+
+
+def bit_probability_profile(
+    values: np.ndarray | bytes, name: str = ""
+) -> BitProbabilityProfile:
+    """Compute the Figure 1 curve for a float64 dataset."""
+    if isinstance(values, (bytes, bytearray, memoryview)):
+        values = np.frombuffer(values, dtype="<f8")
+    values = np.asarray(values, dtype="<f8")
+    probs = bit_position_probability(values)
+    return BitProbabilityProfile(name=name, probabilities=probs)

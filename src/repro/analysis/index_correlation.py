@@ -1,0 +1,69 @@
+"""Sec II-F: correlation of frequency vectors between successive chunks.
+
+The paper observes that whether a single chunk's index fits the whole
+dataset is data-dependent, and sketches an adaptive scheme: re-index only
+when a chunk's frequency analysis correlates poorly with the previous
+chunk's.  (That scheme is implemented as
+:class:`repro.core.idmap.IndexReusePolicy.CORRELATED`; this module supplies
+the measurement study that motivates choosing its threshold.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bytesplit import split_bytes, values_to_byte_matrix
+from repro.core.chunking import Chunker
+from repro.core.idmap import IdMapper
+
+__all__ = ["ChunkCorrelationStudy", "chunk_frequency_correlations"]
+
+
+@dataclass(frozen=True)
+class ChunkCorrelationStudy:
+    """Successive-chunk frequency correlations for one dataset."""
+
+    name: str
+    correlations: np.ndarray  # length n_chunks - 1
+
+    @property
+    def mean(self) -> float:
+        """Mean correlation across chunk transitions."""
+        return float(self.correlations.mean()) if self.correlations.size else 1.0
+
+    @property
+    def minimum(self) -> float:
+        """Worst (lowest) correlation observed."""
+        return float(self.correlations.min()) if self.correlations.size else 1.0
+
+    def reuse_fraction(self, threshold: float) -> float:
+        """Fraction of chunk transitions that would reuse the index."""
+        if self.correlations.size == 0:
+            return 1.0
+        return float((self.correlations >= threshold).mean())
+
+
+def chunk_frequency_correlations(
+    data: bytes,
+    name: str = "",
+    chunk_bytes: int = 3 * 1024 * 1024,
+    high_bytes: int = 2,
+) -> ChunkCorrelationStudy:
+    """Cosine similarity of high-order frequency vectors between chunks."""
+    chunker = Chunker(chunk_bytes, word_bytes=8)
+    chunks, _ = chunker.split(data)
+    mapper = IdMapper(seq_bytes=high_bytes)
+    freqs = []
+    for chunk in chunks:
+        matrix = values_to_byte_matrix(chunk.data, 8)
+        high, _ = split_bytes(matrix, high_bytes)
+        freqs.append(mapper.frequencies(mapper.sequences(high)))
+    corr = np.array(
+        [
+            IdMapper.frequency_correlation(freqs[i], freqs[i + 1])
+            for i in range(len(freqs) - 1)
+        ]
+    )
+    return ChunkCorrelationStudy(name=name, correlations=corr)

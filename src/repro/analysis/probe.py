@@ -1,0 +1,122 @@
+"""Sampling compressibility probe: "is compressing this worth it?"
+
+ISOBAR's core idea -- sample first, decide, then spend compute -- applied
+at the whole-dataset level.  The probe compresses a strided sample
+(default 64 KiB) with both vanilla and PRIMACY pipelines, estimates the
+achievable ratios and throughputs, and can answer the deployment question
+through the Sec-III model: given this machine's network rate, does
+compression raise or lower end-to-end throughput?
+
+Typical use inside a writer::
+
+    probe = estimate_compressibility(data)
+    if probe.recommend(network_bps=2e6, rho=8):
+        ...compress...
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compressors import get_codec
+from repro.core import PrimacyCompressor, PrimacyConfig
+from repro.model import ModelInputs, predict_base_write, predict_compressed_write
+
+__all__ = ["CompressibilityProbe", "estimate_compressibility"]
+
+
+@dataclass(frozen=True)
+class CompressibilityProbe:
+    """Sampled compressibility estimates for one dataset."""
+
+    sample_bytes: int
+    vanilla_ratio: float
+    vanilla_mbps: float
+    primacy_ratio: float
+    primacy_mbps: float
+    alpha2: float
+
+    @property
+    def best_ratio(self) -> float:
+        """Best compression ratio among the probed pipelines."""
+        return max(self.vanilla_ratio, self.primacy_ratio)
+
+    @property
+    def hard_to_compress(self) -> bool:
+        """The paper's 'hard' regime: vanilla gains under 20 %."""
+        return self.vanilla_ratio < 1.25
+
+    def recommend(
+        self,
+        *,
+        network_bps: float,
+        rho: float = 8.0,
+        disk_write_bps: float | None = None,
+        chunk_bytes: float = 3e6,
+    ) -> bool:
+        """Model-based decision: does PRIMACY beat writing raw here?"""
+        inputs = ModelInputs(
+            chunk_bytes=chunk_bytes,
+            rho=rho,
+            network_bps=network_bps,
+            disk_write_bps=disk_write_bps or network_bps,
+            preconditioner_bps=max(self.primacy_mbps, 1e-6) * 4e6,
+            compressor_bps=max(self.primacy_mbps, 1e-6) * 1e6,
+            alpha1=1.0,
+            alpha2=0.0,
+            sigma_ho=1.0 / max(self.primacy_ratio, 1e-9),
+            sigma_lo=1.0,
+        )
+        base = predict_base_write(inputs).throughput_bps(inputs)
+        compressed = predict_compressed_write(inputs).throughput_bps(inputs)
+        return compressed > base
+
+
+def estimate_compressibility(
+    data: bytes,
+    sample_bytes: int = 64 * 1024,
+    codec: str = "pyzlib",
+) -> CompressibilityProbe:
+    """Probe a dataset with a strided sample (cheap, deterministic)."""
+    if not data:
+        raise ValueError("cannot probe empty data")
+    sample = _strided_sample(data, sample_bytes)
+
+    vanilla = get_codec(codec)
+    t0 = time.perf_counter()
+    v_out = vanilla.compress(sample)
+    v_time = time.perf_counter() - t0
+
+    primacy = PrimacyCompressor(
+        PrimacyConfig(codec=codec, chunk_bytes=max(len(sample), 8 * 1024))
+    )
+    t0 = time.perf_counter()
+    p_out, stats = primacy.compress(sample)
+    p_time = time.perf_counter() - t0
+
+    mb = len(sample) / 1e6
+    return CompressibilityProbe(
+        sample_bytes=len(sample),
+        vanilla_ratio=len(sample) / len(v_out),
+        vanilla_mbps=mb / v_time if v_time > 0 else float("inf"),
+        primacy_ratio=len(sample) / len(p_out),
+        primacy_mbps=mb / p_time if p_time > 0 else float("inf"),
+        alpha2=stats.alpha2,
+    )
+
+
+def _strided_sample(data: bytes, sample_bytes: int) -> bytes:
+    """Word-aligned strided sample covering the whole stream."""
+    if len(data) <= sample_bytes:
+        return data
+    n_pieces = 16
+    piece = (sample_bytes // n_pieces) & ~7
+    if piece == 0:
+        return data[:sample_bytes]
+    stride = (len(data) - piece) // (n_pieces - 1)
+    stride -= stride % 8  # keep pieces word-aligned
+    parts = [
+        data[i * stride : i * stride + piece] for i in range(n_pieces)
+    ]
+    return b"".join(parts)

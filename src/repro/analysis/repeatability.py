@@ -1,0 +1,67 @@
+"""Sec II-C: byte-repeatability gain from the ID mapping.
+
+The paper reports that frequency-ranked ID assignment raised the
+repeatability of the most frequent data byte by ~15 % on average across
+the 20 datasets.  This module measures exactly that quantity: the
+frequency of the most common byte value over the high-order region,
+before and after ID mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bytesplit import split_bytes, values_to_byte_matrix
+from repro.core.idmap import IdMapper
+from repro.util.entropy import byte_entropy, top_byte_fraction
+
+__all__ = ["RepeatabilityReport", "repeatability_gain"]
+
+
+@dataclass(frozen=True)
+class RepeatabilityReport:
+    """Before/after byte statistics over the high-order region."""
+
+    name: str
+    top_byte_before: float
+    top_byte_after: float
+    entropy_before: float
+    entropy_after: float
+
+    @property
+    def top_byte_gain(self) -> float:
+        """Absolute gain in most-frequent-byte share (paper: ~0.15 avg)."""
+        return self.top_byte_after - self.top_byte_before
+
+    @property
+    def entropy_reduction(self) -> float:
+        """Bits/byte removed by the remapping (>= 0 in expectation)."""
+        return self.entropy_before - self.entropy_after
+
+
+def repeatability_gain(
+    values: np.ndarray | bytes, name: str = "", high_bytes: int = 2
+) -> RepeatabilityReport:
+    """Measure the ID mapping's byte-repeatability improvement."""
+    if isinstance(values, (bytes, bytearray, memoryview)):
+        raw = bytes(values)
+    else:
+        raw = np.ascontiguousarray(values, dtype="<f8").tobytes()
+    matrix = values_to_byte_matrix(raw, 8)
+    high, _ = split_bytes(matrix, high_bytes)
+
+    mapper = IdMapper(seq_bytes=high_bytes)
+    index = mapper.build_index(high)
+    ids, _ = mapper.apply(high, index)
+
+    before = np.ascontiguousarray(high).tobytes()
+    after = np.ascontiguousarray(ids).tobytes()
+    return RepeatabilityReport(
+        name=name,
+        top_byte_before=top_byte_fraction(before),
+        top_byte_after=top_byte_fraction(after),
+        entropy_before=byte_entropy(before),
+        entropy_after=byte_entropy(after),
+    )

@@ -1,0 +1,113 @@
+"""Markdown report generator for datasets and codec comparisons.
+
+Produces the kind of per-dataset characterization the paper's Sec II
+builds its case on -- byte-level structure, compressibility, and how each
+codec family fares -- as a self-contained markdown document.  Used by the
+``primacy report`` CLI command and handy for documenting new datasets
+plugged into the registry.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.bitprob import bit_probability_profile
+from repro.analysis.bytefreq import byte_sequence_frequencies
+from repro.analysis.repeatability import repeatability_gain
+from repro.compressors import get_codec
+from repro.core import PrimacyCodec, PrimacyConfig
+from repro.datasets import generate_bytes, get_spec
+
+__all__ = ["dataset_report", "codec_comparison_rows"]
+
+_REPORT_CODECS = ("pyzlib", "pylzo", "shuffle", "fpc", "fpzip")
+
+
+def codec_comparison_rows(
+    data: bytes, chunk_bytes: int | None = None
+) -> list[tuple[str, float, float, float]]:
+    """(codec, CR, CTP MB/s, DTP MB/s) rows, PRIMACY last."""
+    rows = []
+    for name in _REPORT_CODECS:
+        rows.append((name, *_measure(get_codec(name), data)))
+    primacy = PrimacyCodec(
+        PrimacyConfig(chunk_bytes=chunk_bytes or max(len(data), 64 * 1024))
+    )
+    rows.append(("primacy", *_measure(primacy, data)))
+    return rows
+
+
+def _measure(codec, data: bytes) -> tuple[float, float, float]:
+    t0 = time.perf_counter()
+    compressed = codec.compress(data)
+    t_c = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    restored = codec.decompress(compressed)
+    t_d = time.perf_counter() - t0
+    if restored != data:
+        raise AssertionError(f"codec {codec.name} failed round trip")
+    mb = len(data) / 1e6
+    return (
+        len(data) / len(compressed),
+        mb / t_c if t_c > 0 else float("inf"),
+        mb / t_d if t_d > 0 else float("inf"),
+    )
+
+
+def dataset_report(
+    name: str, n_values: int = 16384, seed: int = 0
+) -> str:
+    """Render a markdown characterization of one synthetic dataset."""
+    spec = get_spec(name)
+    data = generate_bytes(name, n_values, seed)
+
+    prof = bit_probability_profile(data, name=name)
+    exp, man = byte_sequence_frequencies(data, name=name)
+    rep = repeatability_gain(data, name=name)
+    rows = codec_comparison_rows(data)
+
+    lines = [
+        f"# Dataset report: `{name}`",
+        "",
+        f"*{spec.description}* ({spec.domain}); {n_values:,} float64 values, "
+        f"seed {seed}.",
+        "",
+        "## Generator parameters",
+        "",
+        "| knob | value |",
+        "|---|---|",
+        f"| smoothness | {spec.smoothness} |",
+        f"| exponent center / decades | {spec.exponent_center} / {spec.exponent_decades} |",
+        f"| quantize bits | {spec.quantize_bits} |",
+        f"| negative fraction | {spec.negative_fraction} |",
+        f"| noise | {spec.noise} |",
+        f"| trend fraction | {spec.trend_fraction} |",
+        f"| repeat fraction | {spec.repeat_fraction} |",
+        f"| tile | {spec.tile} |",
+        f"| paper zlib / PRIMACY CR | {spec.paper_zlib_cr} / {spec.paper_primacy_cr} |",
+        "",
+        "## Byte-level structure (paper Figs 1 and 3)",
+        "",
+        f"- exponent-region bit regularity: **{prof.exponent_mean:.3f}** "
+        f"(mantissa: {prof.mantissa_mean:.3f})",
+        f"- unique exponent byte-pairs: **{exp.n_unique}** / 65,536 "
+        f"(top-100 hold {100 * exp.top_k_mass(100):.1f}% of values)",
+        f"- unique mantissa byte-pairs: **{man.n_unique}** / 65,536",
+        f"- ID-mapping repeatability gain: "
+        f"{rep.top_byte_before:.3f} -> {rep.top_byte_after:.3f} "
+        f"(**{rep.top_byte_gain:+.3f}**)",
+        "",
+        "## Codec comparison",
+        "",
+        "| codec | CR | CTP MB/s | DTP MB/s |",
+        "|---|---|---|---|",
+    ]
+    for codec_name, cr, ctp, dtp in rows:
+        lines.append(f"| {codec_name} | {cr:.3f} | {ctp:.2f} | {dtp:.2f} |")
+    best = max(rows, key=lambda r: r[1])
+    lines += [
+        "",
+        f"Best compression ratio: **{best[0]}** ({best[1]:.3f}).",
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Checkpoint/restart manager: named variables x timesteps on PRIF.
+
+The paper motivates PRIMACY with simulation checkpoint & restart data and
+names ADIOS-style staging frameworks as the integration point.  This
+package provides that application-facing layer:
+
+* :class:`~repro.checkpoint.manager.CheckpointWriter` -- per timestep,
+  write named float arrays; each variable is compressed independently
+  (its own chunk stream) so restarts can read one variable without
+  touching the others.
+* :class:`~repro.checkpoint.manager.CheckpointReader` -- list steps and
+  variables, read a whole variable or a value range, from any step.
+
+One checkpoint file holds a manifest (JSON-free, varint-encoded) mapping
+``(step, variable)`` to an embedded PRIF segment.
+"""
+
+from repro.checkpoint.manager import CheckpointReader, CheckpointWriter, VariableMeta
+
+__all__ = ["CheckpointWriter", "CheckpointReader", "VariableMeta"]

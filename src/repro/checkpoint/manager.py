@@ -1,0 +1,276 @@
+"""Checkpoint file manager.
+
+File layout (PRCK)::
+
+    magic "PRCK" | version
+    segment*          -- each segment is a complete PRIF stream
+                         (header..trailer) for one (step, variable)
+    manifest          -- per entry: step, name, dtype str, shape,
+                         segment offset, segment length
+    manifest length (u64) | magic "PRCE"
+
+Each variable is an independent PRIF stream, so reading one variable at
+one step costs exactly that variable's chunks (plus the manifest).  The
+writer appends steps as the simulation produces them -- the
+checkpoint-every-N-steps pattern the paper targets.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors.base import CodecError
+from repro.core.primacy import PrimacyConfig
+from repro.storage.reader import PrimacyFileReader
+from repro.storage.writer import PrimacyFileWriter
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["CheckpointWriter", "CheckpointReader", "VariableMeta"]
+
+_MAGIC = b"PRCK"
+_END_MAGIC = b"PRCE"
+_VERSION = 1
+_TRAILER_BYTES = 12
+
+
+@dataclass(frozen=True)
+class VariableMeta:
+    """Manifest entry for one stored variable at one step."""
+
+    step: int
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    length: int
+
+    @property
+    def n_values(self) -> int:
+        """Number of values covered."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+
+class CheckpointWriter:
+    """Append-only checkpoint writer."""
+
+    def __init__(
+        self,
+        target: str | os.PathLike | io.BufferedIOBase,
+        config: PrimacyConfig | None = None,
+    ) -> None:
+        self.config = config or PrimacyConfig()
+        if isinstance(target, (str, os.PathLike)):
+            self._fh = open(Path(target), "wb")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self._entries: list[VariableMeta] = []
+        self._closed = False
+        self._fh.write(_MAGIC + bytes([_VERSION]))
+        self._pos = 5
+
+    def write_step(self, step: int, variables: dict[str, np.ndarray]) -> None:
+        """Write all variables of one timestep."""
+        for name, array in variables.items():
+            self.write_variable(step, name, array)
+
+    def write_variable(self, step: int, name: str, array: np.ndarray) -> None:
+        """Compress and append one named array."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        if any(e.step == step and e.name == name for e in self._entries):
+            raise ValueError(f"variable {name!r} already written for step {step}")
+        array = np.ascontiguousarray(array)
+        if array.dtype.kind not in "fiu":
+            raise ValueError("only numeric arrays are supported")
+        config = self.config
+        if array.dtype.itemsize != config.word_bytes:
+            # Adjust the pipeline word size to the array's element width.
+            high = min(config.high_bytes, max(array.dtype.itemsize - 1, 1))
+            config = PrimacyConfig(
+                codec=config.codec,
+                chunk_bytes=config.chunk_bytes,
+                word_bytes=array.dtype.itemsize,
+                high_bytes=high,
+                linearization=config.linearization,
+                index_policy=config.index_policy,
+                isobar=config.isobar,
+                checksum=config.checksum,
+            )
+        segment = io.BytesIO()
+        with PrimacyFileWriter(segment, config) as writer:
+            writer.write(array.astype(array.dtype.newbyteorder("<")).tobytes())
+        blob = segment.getvalue()
+        self._fh.write(blob)
+        self._entries.append(
+            VariableMeta(
+                step=step,
+                name=name,
+                dtype=str(array.dtype),
+                shape=tuple(array.shape),
+                offset=self._pos,
+                length=len(blob),
+            )
+        )
+        self._pos += len(blob)
+
+    def close(self) -> None:
+        """Flush/close the underlying file if owned."""
+        if self._closed:
+            return
+        manifest = bytearray()
+        manifest += encode_uvarint(len(self._entries))
+        for e in self._entries:
+            manifest += encode_uvarint(e.step)
+            name = e.name.encode("utf-8")
+            manifest += encode_uvarint(len(name))
+            manifest += name
+            dtype = e.dtype.encode("ascii")
+            manifest += encode_uvarint(len(dtype))
+            manifest += dtype
+            manifest += encode_uvarint(len(e.shape))
+            for s in e.shape:
+                manifest += encode_uvarint(s)
+            manifest += encode_uvarint(e.offset)
+            manifest += encode_uvarint(e.length)
+        self._fh.write(manifest)
+        self._fh.write(len(manifest).to_bytes(8, "little"))
+        self._fh.write(_END_MAGIC)
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CheckpointReader:
+    """Random access to checkpoint variables."""
+
+    def __init__(
+        self, source: str | os.PathLike | io.BufferedIOBase
+    ) -> None:
+        if isinstance(source, (str, os.PathLike)):
+            self._fh = open(Path(source), "rb")
+            self._owns_fh = True
+        else:
+            self._fh = source
+            self._owns_fh = False
+        self._load_manifest()
+
+    def _load_manifest(self) -> None:
+        fh = self._fh
+        fh.seek(0)
+        head = fh.read(5)
+        if head[:4] != _MAGIC:
+            raise CodecError("not a PRCK checkpoint file")
+        if head[4] != _VERSION:
+            raise CodecError(f"unsupported PRCK version {head[4]}")
+        fh.seek(0, io.SEEK_END)
+        size = fh.tell()
+        fh.seek(size - _TRAILER_BYTES)
+        trailer = fh.read(_TRAILER_BYTES)
+        if trailer[8:] != _END_MAGIC:
+            raise CodecError("missing PRCK end marker")
+        manifest_len = int.from_bytes(trailer[:8], "little")
+        fh.seek(size - _TRAILER_BYTES - manifest_len)
+        manifest = fh.read(manifest_len)
+
+        pos = 0
+        n_entries, pos = decode_uvarint(manifest, pos)
+        entries: list[VariableMeta] = []
+        for _ in range(n_entries):
+            step, pos = decode_uvarint(manifest, pos)
+            name_len, pos = decode_uvarint(manifest, pos)
+            name = manifest[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            dtype_len, pos = decode_uvarint(manifest, pos)
+            dtype = manifest[pos : pos + dtype_len].decode("ascii")
+            pos += dtype_len
+            ndim, pos = decode_uvarint(manifest, pos)
+            shape = []
+            for _ in range(ndim):
+                s, pos = decode_uvarint(manifest, pos)
+                shape.append(s)
+            offset, pos = decode_uvarint(manifest, pos)
+            length, pos = decode_uvarint(manifest, pos)
+            entries.append(
+                VariableMeta(
+                    step=step,
+                    name=name,
+                    dtype=dtype,
+                    shape=tuple(shape),
+                    offset=offset,
+                    length=length,
+                )
+            )
+        self._entries = entries
+        self._by_key = {(e.step, e.name): e for e in entries}
+
+    # -- catalogue ---------------------------------------------------------
+
+    def steps(self) -> list[int]:
+        """Sorted list of checkpointed step numbers."""
+        return sorted({e.step for e in self._entries})
+
+    def variables(self, step: int | None = None) -> list[str]:
+        """Variable names (optionally restricted to one step)."""
+        names = [
+            e.name for e in self._entries if step is None or e.step == step
+        ]
+        return sorted(set(names))
+
+    def meta(self, step: int, name: str) -> VariableMeta:
+        """Manifest entry for ``(step, name)``."""
+        try:
+            return self._by_key[(step, name)]
+        except KeyError:
+            raise KeyError(f"no variable {name!r} at step {step}") from None
+
+    # -- reads --------------------------------------------------------------
+
+    def _segment_reader(self, entry: VariableMeta) -> PrimacyFileReader:
+        self._fh.seek(entry.offset)
+        blob = self._fh.read(entry.length)
+        if len(blob) != entry.length:
+            raise CodecError("truncated checkpoint segment")
+        return PrimacyFileReader(io.BytesIO(blob))
+
+    def read(self, step: int, name: str) -> np.ndarray:
+        """Read one whole variable."""
+        entry = self.meta(step, name)
+        reader = self._segment_reader(entry)
+        raw = reader.read_all()
+        return np.frombuffer(raw, dtype=entry.dtype).reshape(entry.shape)
+
+    def read_range(
+        self, step: int, name: str, start: int, count: int
+    ) -> np.ndarray:
+        """Read ``count`` flat values starting at ``start`` (C order)."""
+        entry = self.meta(step, name)
+        reader = self._segment_reader(entry)
+        raw = reader.read_values(start, count)
+        return np.frombuffer(raw, dtype=entry.dtype)
+
+    def close(self) -> None:
+        """Flush/close the underlying file if owned."""
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

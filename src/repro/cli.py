@@ -1,0 +1,367 @@
+"""``primacy`` command-line interface.
+
+Subcommands::
+
+    primacy compress   IN OUT [--codec pyzlib] [--chunk-bytes N] ...
+    primacy decompress IN OUT
+    primacy analyze    IN            # Fig-1/Fig-3 style statistics
+    primacy codecs                   # list registered codecs
+    primacy datasets [--write DIR]   # list / materialize synthetic datasets
+    primacy model ...                # evaluate the performance model
+
+Exit status is non-zero on any error; messages go to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import (
+    bit_probability_profile,
+    byte_sequence_frequencies,
+    repeatability_gain,
+)
+from repro.compressors import available_codecs, get_codec
+from repro.core import IndexReusePolicy, PrimacyCompressor, PrimacyConfig
+from repro.core.linearize import Linearization
+from repro.datasets import dataset_names, generate_bytes
+from repro.model import (
+    ModelInputs,
+    predict_base_read,
+    predict_base_write,
+    predict_compressed_read,
+    predict_compressed_write,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the primacy CLI."""
+    parser = argparse.ArgumentParser(
+        prog="primacy",
+        description="PRIMACY preconditioned compression (CLUSTER 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a file of float64 data")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.add_argument("--codec", default="pyzlib", help="backend solver codec")
+    p.add_argument("--chunk-bytes", type=int, default=3 * 1024 * 1024)
+    p.add_argument("--high-bytes", type=int, default=2)
+    p.add_argument(
+        "--linearization", choices=["column", "row"], default="column"
+    )
+    p.add_argument(
+        "--index-policy",
+        choices=[pol.value for pol in IndexReusePolicy],
+        default=IndexReusePolicy.PER_CHUNK.value,
+    )
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a .pri container")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("analyze", help="bit/byte statistics of a float64 file")
+    p.add_argument("input", type=Path)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("codecs", help="list registered codecs")
+    p.set_defaults(func=_cmd_codecs)
+
+    p = sub.add_parser("datasets", help="list or materialize synthetic datasets")
+    p.add_argument("--write", type=Path, default=None, metavar="DIR")
+    p.add_argument("--n-values", type=int, default=1 << 16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("inspect", help="show the chunk table of a PRIF file")
+    p.add_argument("input", type=Path)
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "extract", help="extract a value range from a PRIF file"
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.add_argument("--start", type=int, default=0, help="first value index")
+    p.add_argument("--count", type=int, default=None, help="number of values")
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("pack", help="write float64 data into a PRIF file")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.add_argument("--codec", default="pyzlib")
+    p.add_argument("--chunk-bytes", type=int, default=3 * 1024 * 1024)
+    p.add_argument(
+        "--index-policy",
+        choices=[pol.value for pol in IndexReusePolicy],
+        default=IndexReusePolicy.PER_CHUNK.value,
+    )
+    p.set_defaults(func=_cmd_pack)
+
+    p = sub.add_parser(
+        "probe", help="sample a file and recommend whether to compress"
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("--network-mbps", type=float, default=None,
+                   help="target network rate for a model-based verdict")
+    p.add_argument("--rho", type=float, default=8.0)
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser(
+        "verify", help="check the integrity of a PRIM/PRIF container"
+    )
+    p.add_argument("input", type=Path)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "report", help="markdown characterization of a synthetic dataset"
+    )
+    p.add_argument("dataset")
+    p.add_argument("--n-values", type=int, default=16384)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=Path, default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("model", help="evaluate the Sec-III performance model")
+    p.add_argument("--chunk-mb", type=float, default=3.0)
+    p.add_argument("--rho", type=float, default=8.0)
+    p.add_argument("--network-mbps", type=float, default=34.0)
+    p.add_argument("--disk-mbps", type=float, default=34.0)
+    p.add_argument("--prec-mbps", type=float, default=400.0)
+    p.add_argument("--comp-mbps", type=float, default=18.0)
+    p.add_argument("--alpha1", type=float, default=0.25)
+    p.add_argument("--alpha2", type=float, default=0.3)
+    p.add_argument("--sigma-ho", type=float, default=0.2)
+    p.add_argument("--sigma-lo", type=float, default=0.8)
+    p.set_defaults(func=_cmd_model)
+
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> PrimacyConfig:
+    return PrimacyConfig(
+        codec=args.codec,
+        chunk_bytes=args.chunk_bytes,
+        high_bytes=args.high_bytes,
+        linearization=(
+            Linearization.COLUMN
+            if args.linearization == "column"
+            else Linearization.ROW
+        ),
+        index_policy=IndexReusePolicy(args.index_policy),
+    )
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = args.input.read_bytes()
+    compressor = PrimacyCompressor(_make_config(args))
+    out, stats = compressor.compress(data)
+    args.output.write_bytes(out)
+    print(
+        f"{len(data)} -> {len(out)} bytes  "
+        f"CR={stats.compression_ratio:.3f}  "
+        f"alpha2={stats.alpha2:.3f}  sigma_ho={stats.sigma_ho:.3f}  "
+        f"meta={stats.metadata_bytes}B  chunks={len(stats.chunks)}"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    data = args.input.read_bytes()
+    compressor = PrimacyCompressor()
+    out = compressor.decompress(data)
+    args.output.write_bytes(out)
+    print(f"{len(data)} -> {len(out)} bytes")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    data = args.input.read_bytes()
+    if len(data) < 8:
+        print("need at least one float64 value", file=sys.stderr)
+        return 1
+    usable = len(data) - (len(data) % 8)
+    values = np.frombuffer(data[:usable], dtype="<f8")
+    prof = bit_probability_profile(values, name=str(args.input))
+    exp_rep, man_rep = byte_sequence_frequencies(values, name=str(args.input))
+    rep = repeatability_gain(values, name=str(args.input))
+    print(f"values:                 {values.size}")
+    print(f"exponent bit regularity: {prof.exponent_mean:.3f}")
+    print(f"mantissa bit regularity: {prof.mantissa_mean:.3f}")
+    print(f"unique exponent pairs:   {exp_rep.n_unique}")
+    print(f"unique mantissa pairs:   {man_rep.n_unique}")
+    print(f"top-byte before mapping: {rep.top_byte_before:.3f}")
+    print(f"top-byte after mapping:  {rep.top_byte_after:.3f}")
+    print(f"repeatability gain:      {rep.top_byte_gain:+.3f}")
+    return 0
+
+
+def _cmd_codecs(_: argparse.Namespace) -> int:
+    for name in available_codecs():
+        codec = get_codec(name)
+        doc = (type(codec).__doc__ or "").strip().splitlines()[0]
+        print(f"{name:10s} {doc}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.write is None:
+        for name in dataset_names():
+            print(name)
+        return 0
+    args.write.mkdir(parents=True, exist_ok=True)
+    for name in dataset_names():
+        path = args.write / f"{name}.f64"
+        path.write_bytes(generate_bytes(name, args.n_values, args.seed))
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.storage import PrimacyFileReader
+
+    with PrimacyFileReader(args.input) as reader:
+        cfg = reader.info.config
+        print(f"codec:       {cfg.codec}")
+        print(f"word/high:   {cfg.word_bytes}/{cfg.high_bytes} bytes")
+        print(f"chunk size:  {cfg.chunk_bytes}")
+        print(f"policy:      {cfg.index_policy.value}")
+        print(f"values:      {reader.n_values}")
+        print(f"chunks:      {reader.n_chunks}")
+        print(f"{'id':>4s} {'offset':>10s} {'bytes':>9s} {'values':>9s} "
+              f"{'index':>7s} {'base':>5s}")
+        for i, entry in enumerate(reader.chunk_entries()):
+            kind = "inline" if entry.inline_index else "reused"
+            print(f"{i:4d} {entry.offset:10d} {entry.length:9d} "
+                  f"{entry.n_values:9d} {kind:>7s} {entry.index_base:5d}")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.storage import PrimacyFileReader
+
+    with PrimacyFileReader(args.input) as reader:
+        count = args.count if args.count is not None else reader.n_values - args.start
+        data = reader.read_values(args.start, count)
+    args.output.write_bytes(data)
+    print(f"extracted {count} values ({len(data)} bytes) "
+          f"starting at value {args.start}")
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.storage import PrimacyFileWriter
+
+    config = PrimacyConfig(
+        codec=args.codec,
+        chunk_bytes=args.chunk_bytes,
+        index_policy=IndexReusePolicy(args.index_policy),
+    )
+    data = args.input.read_bytes()
+    with PrimacyFileWriter(args.output, config) as writer:
+        writer.write(data)
+    stats = writer.stats
+    print(f"{len(data)} -> {stats.container_bytes} bytes  "
+          f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.analysis import estimate_compressibility
+
+    data = args.input.read_bytes()
+    probe = estimate_compressibility(data)
+    print(f"sampled:            {probe.sample_bytes} bytes")
+    print(f"vanilla zlib-like:  CR={probe.vanilla_ratio:.3f} "
+          f"@ {probe.vanilla_mbps:.2f} MB/s")
+    print(f"PRIMACY:            CR={probe.primacy_ratio:.3f} "
+          f"@ {probe.primacy_mbps:.2f} MB/s (alpha2={probe.alpha2:.2f})")
+    print(f"hard-to-compress:   {'yes' if probe.hard_to_compress else 'no'}")
+    if args.network_mbps is not None:
+        verdict = probe.recommend(
+            network_bps=args.network_mbps * 1e6, rho=args.rho
+        )
+        print(f"model verdict at theta={args.network_mbps} MB/s, "
+              f"rho={args.rho:g}: {'COMPRESS' if verdict else 'WRITE RAW'}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    data = args.input.read_bytes()
+    if data[:4] == b"PRIF":
+        from repro.storage import PrimacyFileReader
+        import io
+
+        with PrimacyFileReader(io.BytesIO(data)) as reader:
+            restored = reader.read_all()
+            print(f"PRIF ok: {reader.n_chunks} chunks, "
+                  f"{reader.n_values} values, {len(restored)} bytes, "
+                  "all checksums verified")
+        return 0
+    if data[:4] == b"PRIM":
+        restored = PrimacyCompressor().decompress(data)
+        print(f"PRIM ok: {len(restored)} bytes, all checksums verified")
+        return 0
+    print("error: not a PRIM or PRIF container", file=sys.stderr)
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import dataset_report
+
+    text = dataset_report(args.dataset, args.n_values, args.seed)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    inputs = ModelInputs(
+        chunk_bytes=args.chunk_mb * 1e6,
+        rho=args.rho,
+        network_bps=args.network_mbps * 1e6,
+        disk_write_bps=args.disk_mbps * 1e6,
+        preconditioner_bps=args.prec_mbps * 1e6,
+        compressor_bps=args.comp_mbps * 1e6,
+        alpha1=args.alpha1,
+        alpha2=args.alpha2,
+        sigma_ho=args.sigma_ho,
+        sigma_lo=args.sigma_lo,
+    )
+    rows = [
+        ("base write", predict_base_write(inputs)),
+        ("base read", predict_base_read(inputs)),
+        ("primacy write", predict_compressed_write(inputs)),
+        ("primacy read", predict_compressed_read(inputs)),
+    ]
+    for label, out in rows:
+        print(f"{label:14s} tau = {out.throughput_mbps(inputs):8.2f} MB/s "
+              f"(t_total = {out.t_total:.4f}s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # pragma: no cover - CLI guard
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

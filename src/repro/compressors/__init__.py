@@ -1,0 +1,74 @@
+"""From-scratch lossless compression substrate.
+
+The paper uses zlib / lzo / bzlib2 as the "solver" stage behind the PRIMACY
+preconditioner and compares against the fpc and fpzip floating-point
+compressors.  None of those C libraries are used here; every codec is
+reimplemented from scratch on top of NumPy:
+
+=============  =======================================================
+Registry name  Implementation
+=============  =======================================================
+``pyzlib``     :class:`~repro.compressors.deflate.DeflateCodec` --
+               LZ77 (hash-chain matcher) + canonical Huffman; the
+               byte-level entropy coder the paper's analysis targets.
+``pylzo``      :class:`~repro.compressors.lzrw.LzrwCodec` -- LZRW1-
+               style byte-aligned fast compressor (lzo analogue).
+``pybzip``     :class:`~repro.compressors.bwt.BwtCodec` -- BWT + MTF +
+               RLE + Huffman (bzip2 analogue).
+``huffman``    :class:`~repro.compressors.huffman.HuffmanCodec` --
+               order-0 canonical Huffman with synchronized blocks.
+``rle``        :class:`~repro.compressors.rle.RleCodec` -- byte runs.
+``shuffle``    :class:`~repro.compressors.shuffle.ShuffleCodec` -- Blosc-
+               style byte transpose in front of a backend codec.
+``fpc``        :class:`~repro.compressors.fpc.FpcCodec` -- FCM + DFCM
+               predictive coder (Burtscher & Ratanaworabhan).
+``fpzip``      :class:`~repro.compressors.fpzip.FpzipCodec` -- Lorenzo
+               predictor + residual coder (Lindstrom & Isenburg style).
+``rangecoder`` :class:`~repro.compressors.rangecoder.RangeCoderCodec` --
+               LZMA-style adaptive binary range coder (order-0/1).
+``null``       :class:`~repro.compressors.null.NullCodec` -- identity.
+=============  =======================================================
+
+All codecs share the byte-oriented :class:`~repro.compressors.base.Codec`
+interface and guarantee bit-exact round trips.
+"""
+
+from repro.compressors.base import (
+    Codec,
+    CodecError,
+    CodecMetrics,
+    available_codecs,
+    evaluate_codec,
+    get_codec,
+    register_codec,
+)
+from repro.compressors.bwt import BwtCodec
+from repro.compressors.deflate import DeflateCodec
+from repro.compressors.fpc import FpcCodec
+from repro.compressors.fpzip import FpzipCodec
+from repro.compressors.huffman import HuffmanCodec
+from repro.compressors.lzrw import LzrwCodec
+from repro.compressors.null import NullCodec
+from repro.compressors.rangecoder import RangeCoderCodec
+from repro.compressors.rle import RleCodec
+from repro.compressors.shuffle import ShuffleCodec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "CodecMetrics",
+    "available_codecs",
+    "evaluate_codec",
+    "get_codec",
+    "register_codec",
+    "DeflateCodec",
+    "LzrwCodec",
+    "BwtCodec",
+    "HuffmanCodec",
+    "RleCodec",
+    "ShuffleCodec",
+    "FpcCodec",
+    "FpzipCodec",
+    "NullCodec",
+    "RangeCoderCodec",
+]

@@ -1,0 +1,176 @@
+"""Codec interface, registry, and measurement helpers.
+
+Every compressor in the substrate implements :class:`Codec`: a pure
+``bytes -> bytes`` transform pair with a guaranteed bit-exact round trip.
+Codecs register themselves under a short name (``pyzlib``, ``pylzo``, ...)
+so the PRIMACY pipeline, the CLI, and the benchmark harness can select the
+backend "solver" by configuration -- mirroring how the paper swaps zlib /
+lzo / bzlib2 behind the same preconditioner.
+
+:func:`evaluate_codec` implements the paper's three headline metrics
+(Eqns 1-2): compression ratio CR, compression throughput CTP, and
+decompression throughput DTP, all relative to *original* data size.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "CodecMetrics",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+    "evaluate_codec",
+    "as_bytes",
+]
+
+
+class CodecError(Exception):
+    """Raised when a compressed stream is malformed or inconsistent."""
+
+
+def as_bytes(data: bytes | bytearray | memoryview | np.ndarray) -> bytes:
+    """Normalize codec input to an immutable ``bytes`` object."""
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, (bytearray, memoryview)):
+        return bytes(data)
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).tobytes()
+    raise TypeError(f"cannot interpret {type(data).__name__} as bytes")
+
+
+class Codec(abc.ABC):
+    """Abstract lossless byte codec.
+
+    Subclasses must satisfy ``decompress(compress(x)) == x`` for every byte
+    string ``x`` (including the empty string), and raise :class:`CodecError`
+    on malformed compressed input rather than returning garbage.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; always returns a self-describing stream."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly."""
+
+    def compression_ratio(self, data: bytes) -> float:
+        """CR = original size / compressed size (paper Eqn 1)."""
+        data = as_bytes(data)
+        if not data:
+            return 1.0
+        return len(data) / len(self.compress(data))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_REGISTRY: dict[str, type[Codec]] = {}
+
+
+def register_codec(cls: type[Codec]) -> type[Codec]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    if not issubclass(cls, Codec):
+        raise TypeError("register_codec expects a Codec subclass")
+    if cls.name in ("abstract", ""):
+        raise ValueError("codec must define a non-default name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate a registered codec by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown codec {name!r}; available: {known}") from None
+    return cls(**kwargs)
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class CodecMetrics:
+    """The paper's evaluation triple for one codec on one input.
+
+    Attributes
+    ----------
+    compression_ratio:
+        ``original / compressed`` (Eqn 1; bigger is better).
+    compression_mbps, decompression_mbps:
+        CTP and DTP in MB/s of *original* data per second (Eqn 2).
+    original_bytes, compressed_bytes:
+        Raw sizes for downstream modeling (the model needs
+        :math:`\\sigma` = compressed/original, the inverse of CR).
+    """
+
+    codec: str
+    original_bytes: int
+    compressed_bytes: int
+    compression_ratio: float
+    compression_mbps: float
+    decompression_mbps: float
+
+    @property
+    def sigma(self) -> float:
+        """Compressed-vs-original fraction (Table I's sigma)."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.original_bytes
+
+
+def evaluate_codec(codec: Codec, data: bytes, repeats: int = 1) -> CodecMetrics:
+    """Measure CR / CTP / DTP of ``codec`` on ``data``.
+
+    Runs ``repeats`` timed iterations and keeps the *best* time for each
+    direction (standard practice for throughput microbenchmarks: the minimum
+    is the least noisy estimator of the true cost).
+    Raises :class:`CodecError` if the round trip is not exact -- a metric
+    from a broken codec would be meaningless.
+    """
+    data = as_bytes(data)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    best_ct = float("inf")
+    compressed = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        compressed = codec.compress(data)
+        best_ct = min(best_ct, time.perf_counter() - t0)
+
+    best_dt = float("inf")
+    restored = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        restored = codec.decompress(compressed)
+        best_dt = min(best_dt, time.perf_counter() - t0)
+
+    if restored != data:
+        raise CodecError(f"codec {codec.name!r} failed round trip")
+
+    n = len(data)
+    return CodecMetrics(
+        codec=codec.name,
+        original_bytes=n,
+        compressed_bytes=len(compressed),
+        compression_ratio=(n / len(compressed)) if compressed else 1.0,
+        compression_mbps=n / 1e6 / best_ct if best_ct > 0 else float("inf"),
+        decompression_mbps=n / 1e6 / best_dt if best_dt > 0 else float("inf"),
+    )

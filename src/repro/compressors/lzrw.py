@@ -1,0 +1,159 @@
+"""``pylzo``: fast byte-aligned dictionary compressor (lzo analogue).
+
+lzo's profile in the paper is "almost negligible compression, extremely
+high throughput" (Sec V).  This codec reproduces that design point with
+the scheme lzo1x and LZ4 share: a single-probe hash table (no chains) and
+byte-aligned *sequence* records, each a literal run followed by a short
+back-reference::
+
+    uvarint  literal_run_length
+    <run>    literal bytes
+    [2 bytes match, unless the run reaches end-of-input:
+             4 bits (length - 3), 12 bits backward offset (1..4095)]
+
+Long literal runs cost 1-2 bytes regardless of length (unlike classic
+LZRW1's 16-bit control words, which charge 12.5 % on incompressible
+data), so weakly-compressible scientific data keeps its small wins.
+Matches are 3..18 bytes within a 4 KiB window.  A stored-block escape
+bounds worst-case expansion; the decoder's loop runs once per record,
+not per byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Codec, CodecError, register_codec
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["LzrwCodec"]
+
+_MODE_RAW = 0
+_MODE_COMPRESSED = 1
+
+_HASH_BITS = 13
+_HASH_SIZE = 1 << _HASH_BITS
+_WINDOW = 4095
+_MIN_MATCH = 3
+_MAX_MATCH = 18
+_PROFITABLE_MATCH = 4  # shorter matches do not pay for their 2 + ~1 bytes
+
+
+def _hash3(data: bytes) -> list[int]:
+    """Vectorized 3-byte hash for positions ``0 .. len(data) - 3``."""
+    arr = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+    u24 = arr[:-2] | (arr[1:-1] << np.uint32(8)) | (arr[2:] << np.uint32(16))
+    h = (u24 * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)
+    return h.tolist()
+
+
+@register_codec
+class LzrwCodec(Codec):
+    """Single-probe dictionary compressor: fast, weak ratio."""
+
+    name = "pylzo"
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-describing stream (Codec API)."""
+        data = bytes(data)
+        n = len(data)
+        header = encode_uvarint(n)
+        if n == 0:
+            return header
+        body = self._compress_body(data)
+        if len(body) >= n:
+            return header + bytes([_MODE_RAW]) + data
+        return header + bytes([_MODE_COMPRESSED]) + body
+
+    @staticmethod
+    def _compress_body(data: bytes) -> bytes:
+        n = len(data)
+        hashes = _hash3(data) if n >= _MIN_MATCH else []
+        n_hash = len(hashes)
+        table = [-1] * _HASH_SIZE
+
+        out = bytearray()
+        run_start = 0
+        i = 0
+        miss = 0
+        limit = n - _PROFITABLE_MATCH
+        while i <= limit:
+            # Scan acceleration: after a long miss streak, probe sparsely.
+            step = 1 + (miss >> 6)
+            hv = hashes[i]
+            cand = table[hv]
+            table[hv] = i
+            if cand >= 0 and i - cand <= _WINDOW:
+                max_len = min(_MAX_MATCH, n - i)
+                l = 0
+                while l < max_len and data[cand + l] == data[i + l]:
+                    l += 1
+                if l >= _PROFITABLE_MATCH:
+                    out += encode_uvarint(i - run_start)
+                    out += data[run_start:i]
+                    packed = ((l - _MIN_MATCH) << 12) | (i - cand)
+                    out.append(packed >> 8)
+                    out.append(packed & 0xFF)
+                    # Seed a couple of positions inside the match.
+                    if i + 1 < n_hash:
+                        table[hashes[i + 1]] = i + 1
+                    i += l
+                    run_start = i
+                    miss = 0
+                    continue
+            miss += 1
+            i += step
+
+        out += encode_uvarint(n - run_start)
+        out += data[run_start:]
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly (Codec API)."""
+        n, pos = decode_uvarint(data, 0)
+        if n == 0:
+            return b""
+        if pos >= len(data):
+            raise CodecError("truncated lzrw stream")
+        mode = data[pos]
+        pos += 1
+        if mode == _MODE_RAW:
+            raw = data[pos : pos + n]
+            if len(raw) != n:
+                raise CodecError("truncated stored block")
+            return raw
+        if mode != _MODE_COMPRESSED:
+            raise CodecError(f"unknown lzrw mode {mode}")
+        return self._decompress_body(data, pos, n)
+
+    @staticmethod
+    def _decompress_body(data: bytes, pos: int, n: int) -> bytes:
+        out = bytearray()
+        total = len(data)
+        while len(out) < n:
+            run, pos = decode_uvarint(data, pos)
+            if run:
+                if pos + run > total or len(out) + run > n:
+                    raise CodecError("truncated lzrw literal run")
+                out += data[pos : pos + run]
+                pos += run
+            if len(out) >= n:
+                break
+            if pos + 2 > total:
+                raise CodecError("truncated lzrw match")
+            packed = (data[pos] << 8) | data[pos + 1]
+            pos += 2
+            length = (packed >> 12) + _MIN_MATCH
+            offset = packed & 0x0FFF
+            if offset == 0 or offset > len(out):
+                raise CodecError("invalid lzrw match offset")
+            start = len(out) - offset
+            if offset >= length:
+                out += out[start : start + length]
+            else:
+                chunk = bytes(out[start:])
+                q, rem = divmod(length, offset)
+                out += chunk * q + chunk[:rem]
+        if len(out) != n:
+            raise CodecError("lzrw output size mismatch")
+        return bytes(out)

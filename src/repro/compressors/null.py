@@ -1,0 +1,27 @@
+"""Identity codec.
+
+Used as the no-compression baseline (the paper's "null case") and by the
+ISOBAR partitioner for byte-columns classified incompressible -- storing
+them raw is the whole point of the partitioning (Sec II-G).
+"""
+
+from __future__ import annotations
+
+from repro.compressors.base import Codec, register_codec
+
+__all__ = ["NullCodec"]
+
+
+@register_codec
+class NullCodec(Codec):
+    """Stores the input verbatim.  CR is exactly 1."""
+
+    name = "null"
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-describing stream (Codec API)."""
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly (Codec API)."""
+        return bytes(data)

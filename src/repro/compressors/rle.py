@@ -1,0 +1,98 @@
+"""PackBits-style byte run-length codec.
+
+Standalone RLE is the simplest exploit of the run structure that PRIMACY's
+column linearization creates (Sec II-D); it also serves as the RLE stage
+inside the ``pybzip`` pipeline.  Format is classic PackBits:
+
+* control byte ``c < 128``: copy the next ``c + 1`` literal bytes;
+* control byte ``c >= 129``: repeat the next byte ``257 - c`` times
+  (runs of 3..128);
+* ``c == 128`` is reserved/unused (as in Apple PackBits).
+
+Run detection is vectorized (one ``np.diff`` pass); the Python loop runs
+once per emitted control block, not per byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Codec, CodecError, register_codec
+
+__all__ = ["RleCodec", "find_runs"]
+
+_MAX_LITERAL = 128
+_MAX_RUN = 128
+_MIN_RUN = 3
+
+
+def find_runs(buf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(starts, lengths)`` of maximal equal-byte runs (vectorized)."""
+    if buf.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    change = np.flatnonzero(buf[1:] != buf[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [buf.size]))
+    return starts, ends - starts
+
+
+@register_codec
+class RleCodec(Codec):
+    """Byte-level PackBits run-length coder."""
+
+    name = "rle"
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-describing stream (Codec API)."""
+        buf = np.frombuffer(data, dtype=np.uint8)
+        if buf.size == 0:
+            return b""
+        starts, lengths = find_runs(buf)
+        out = bytearray()
+        lit_start = 0  # start of the pending literal region
+        for start, length in zip(starts.tolist(), lengths.tolist()):
+            if length < _MIN_RUN:
+                continue
+            self._flush_literals(out, data, lit_start, start)
+            value = data[start]
+            remaining = length
+            pos = start
+            while remaining >= _MIN_RUN:
+                run = min(remaining, _MAX_RUN)
+                out.append(257 - run)
+                out.append(value)
+                remaining -= run
+                pos += run
+            lit_start = pos  # any short tail joins the next literal region
+        self._flush_literals(out, data, lit_start, len(data))
+        return bytes(out)
+
+    @staticmethod
+    def _flush_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+        for pos in range(start, end, _MAX_LITERAL):
+            n = min(_MAX_LITERAL, end - pos)
+            out.append(n - 1)
+            out += data[pos : pos + n]
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly (Codec API)."""
+        out = bytearray()
+        pos = 0
+        n = len(data)
+        while pos < n:
+            control = data[pos]
+            pos += 1
+            if control < 128:
+                count = control + 1
+                if pos + count > n:
+                    raise CodecError("truncated RLE literal block")
+                out += data[pos : pos + count]
+                pos += count
+            elif control == 128:
+                raise CodecError("reserved RLE control byte")
+            else:
+                if pos >= n:
+                    raise CodecError("truncated RLE run block")
+                out += data[pos : pos + 1] * (257 - control)
+                pos += 1
+        return bytes(out)

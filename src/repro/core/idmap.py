@@ -1,0 +1,225 @@
+"""Frequency analysis and the bijective ID mapping (Sec II-C, II-F).
+
+The heart of PRIMACY: per chunk, count how often each distinct high-order
+byte sequence occurs, then assign IDs in descending frequency order -- the
+most frequent sequence becomes ID 0, the next 255 become the IDs with a
+single zero high byte, and so on.  On the byte level this concentrates
+probability mass on the 0 byte, exactly what an entropy coder wants (MDL
+principle), and what run-length machinery wants once the ID bytes are
+column-linearized.
+
+:class:`FrequencyIndex` is the per-chunk metadata (the ID -> byte-sequence
+table the decompressor needs).  :class:`IdMapper` builds indexes and applies
+them in both directions, entirely with vectorized table gathers.
+
+:class:`IndexReusePolicy` implements the paper's Sec II-F discussion: the
+index can be rebuilt per chunk (paper default), built once and reused, or
+reused adaptively when the frequency profile of the new chunk still
+correlates with the profile the index was built from.  Reused indexes are
+*extended* with any byte sequences unseen when the index was built, so the
+mapping stays bijective and lossless.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.base import CodecError
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["FrequencyIndex", "IdMapper", "IndexReusePolicy"]
+
+
+class IndexReusePolicy(enum.Enum):
+    """When to rebuild the per-chunk frequency index (Sec II-F)."""
+
+    PER_CHUNK = "per_chunk"  # paper's implementation
+    FIRST_CHUNK = "first_chunk"  # build once, extend as needed
+    CORRELATED = "correlated"  # rebuild when correlation drops
+
+
+@dataclass(frozen=True)
+class FrequencyIndex:
+    """Bijective mapping between byte sequences and frequency-ranked IDs.
+
+    Attributes
+    ----------
+    values:
+        ``uint32`` array; ``values[i]`` is the byte sequence (as an integer,
+        big-endian byte order) assigned ID ``i``.  Sorted by descending
+        frequency at build time; extensions are appended.
+    seq_bytes:
+        Width of the byte sequences (2 for the paper's split).
+    """
+
+    values: np.ndarray
+    seq_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 1:
+            raise ValueError("index values must be 1-D")
+        if self.values.size > (1 << (8 * self.seq_bytes)):
+            raise ValueError("more IDs than possible byte sequences")
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct entries."""
+        return self.values.size
+
+    def lookup_table(self) -> np.ndarray:
+        """Dense sequence -> ID table (-1 for unseen sequences)."""
+        table = np.full(1 << (8 * self.seq_bytes), -1, dtype=np.int64)
+        table[self.values] = np.arange(self.values.size, dtype=np.int64)
+        return table
+
+    def extended(self, missing_values: np.ndarray) -> "FrequencyIndex":
+        """Return a new index with ``missing_values`` appended (reuse path)."""
+        if missing_values.size == 0:
+            return self
+        return FrequencyIndex(
+            values=np.concatenate([self.values, missing_values.astype(np.uint32)]),
+            seq_bytes=self.seq_bytes,
+        )
+
+    # -- serialization (this is the paper's delta metadata) ----------------
+
+    def serialize(self) -> bytes:
+        """Serialize this instance to bytes."""
+        out = bytearray()
+        out += encode_uvarint(self.seq_bytes)
+        out += encode_uvarint(self.values.size)
+        width = ">u4" if self.seq_bytes > 2 else ">u2"
+        out += self.values.astype(width).tobytes()
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes, offset: int = 0) -> tuple["FrequencyIndex", int]:
+        """Parse a serialized instance; returns ``(obj, next_offset)``."""
+        seq_bytes, pos = decode_uvarint(data, offset)
+        if not 1 <= seq_bytes <= 4:
+            raise CodecError("corrupt index: bad sequence width")
+        n, pos = decode_uvarint(data, pos)
+        width = ">u4" if seq_bytes > 2 else ">u2"
+        itemsize = 4 if seq_bytes > 2 else 2
+        raw = data[pos : pos + n * itemsize]
+        if len(raw) != n * itemsize:
+            raise CodecError("truncated frequency index")
+        values = np.frombuffer(raw, dtype=width).astype(np.uint32)
+        if np.unique(values).size != values.size:
+            raise CodecError("corrupt index: duplicate byte sequences")
+        return cls(values=values, seq_bytes=seq_bytes), pos + n * itemsize
+
+
+class IdMapper:
+    """Builds frequency indexes and maps byte matrices to/from ID matrices."""
+
+    def __init__(self, seq_bytes: int = 2) -> None:
+        if not 1 <= seq_bytes <= 3:
+            raise ValueError("seq_bytes must be 1..3 (index must fit in memory)")
+        self.seq_bytes = seq_bytes
+
+    # -- frequency analysis -------------------------------------------------
+
+    def sequences(self, high: np.ndarray) -> np.ndarray:
+        """Pack the ``N x seq_bytes`` high matrix into integer sequences."""
+        high = np.asarray(high)
+        if high.ndim != 2 or high.shape[1] != self.seq_bytes:
+            raise ValueError("high matrix width does not match seq_bytes")
+        seqs = np.zeros(high.shape[0], dtype=np.uint32)
+        for col in range(self.seq_bytes):
+            seqs = (seqs << np.uint32(8)) | high[:, col].astype(np.uint32)
+        return seqs
+
+    def frequencies(self, seqs: np.ndarray) -> np.ndarray:
+        """Histogram over all possible byte sequences."""
+        return np.bincount(seqs, minlength=1 << (8 * self.seq_bytes))
+
+    def build_index(self, high: np.ndarray) -> FrequencyIndex:
+        """Frequency-ranked index of the sequences present in ``high``."""
+        seqs = self.sequences(high)
+        freq = self.frequencies(seqs)
+        return self.index_from_frequencies(freq)
+
+    def index_from_frequencies(self, freq: np.ndarray) -> FrequencyIndex:
+        """Build the ranked index from a precomputed frequency vector.
+
+        Sorting only the *present* sequences (typically a few thousand of
+        65,536) keeps the per-chunk cost proportional to the data, not the
+        alphabet.  Ties break by ascending sequence value, matching the
+        paper's "traversing ascending byte-sequences sorted by descending
+        frequency".
+        """
+        present = np.flatnonzero(freq)
+        order = present[np.lexsort((present, -freq[present]))]
+        return FrequencyIndex(
+            values=order.astype(np.uint32), seq_bytes=self.seq_bytes
+        )
+
+    # -- applying the mapping -------------------------------------------------
+
+    def apply(
+        self, high: np.ndarray, index: FrequencyIndex
+    ) -> tuple[np.ndarray, FrequencyIndex]:
+        """Map the high matrix to an ID matrix of the same shape.
+
+        If ``index`` lacks sequences present in ``high`` (index-reuse path),
+        it is extended; the possibly-extended index actually used is
+        returned alongside the IDs.
+        """
+        seqs = self.sequences(high)
+        table = index.lookup_table()
+        ids = table[seqs]
+        missing_mask = ids < 0
+        if missing_mask.any():
+            missing = np.unique(seqs[missing_mask])
+            index = index.extended(missing)
+            table = index.lookup_table()
+            ids = table[seqs]
+        return self._ids_to_bytes(ids), index
+
+    def invert(self, id_matrix: np.ndarray, index: FrequencyIndex) -> np.ndarray:
+        """Map an ID matrix back to the original high byte matrix."""
+        ids = self._bytes_to_ids(id_matrix)
+        if ids.size and int(ids.max()) >= index.n_unique:
+            raise CodecError("ID out of index range")
+        seqs = index.values[ids]
+        high = np.empty((ids.size, self.seq_bytes), dtype=np.uint8)
+        for col in range(self.seq_bytes):
+            shift = np.uint32(8 * (self.seq_bytes - 1 - col))
+            high[:, col] = ((seqs >> shift) & np.uint32(0xFF)).astype(np.uint8)
+        return high
+
+    # -- helpers --------------------------------------------------------------
+
+    def _ids_to_bytes(self, ids: np.ndarray) -> np.ndarray:
+        """IDs as an ``N x seq_bytes`` big-endian byte matrix."""
+        out = np.empty((ids.size, self.seq_bytes), dtype=np.uint8)
+        for col in range(self.seq_bytes):
+            shift = 8 * (self.seq_bytes - 1 - col)
+            out[:, col] = ((ids >> shift) & 0xFF).astype(np.uint8)
+        return out
+
+    def _bytes_to_ids(self, id_matrix: np.ndarray) -> np.ndarray:
+        id_matrix = np.asarray(id_matrix)
+        if id_matrix.ndim != 2 or id_matrix.shape[1] != self.seq_bytes:
+            raise ValueError("ID matrix width does not match seq_bytes")
+        ids = np.zeros(id_matrix.shape[0], dtype=np.int64)
+        for col in range(self.seq_bytes):
+            ids = (ids << 8) | id_matrix[:, col].astype(np.int64)
+        return ids
+
+    # -- index reuse support ---------------------------------------------------
+
+    @staticmethod
+    def frequency_correlation(freq_a: np.ndarray, freq_b: np.ndarray) -> float:
+        """Cosine similarity between two chunk frequency vectors (Sec II-F)."""
+        a = freq_a.astype(np.float64)
+        b = freq_b.astype(np.float64)
+        na = np.linalg.norm(a)
+        nb = np.linalg.norm(b)
+        if na == 0 or nb == 0:
+            return 1.0 if na == nb else 0.0
+        return float(a @ b / (na * nb))

@@ -1,0 +1,624 @@
+"""The end-to-end PRIMACY compressor (Fig 2) and its container format.
+
+:class:`PrimacyCompressor` implements the full pipeline per chunk:
+
+1. split the byte matrix into high-order (exponent) and low-order
+   (mantissa) parts;
+2. frequency-analyze the high-order byte sequences and apply the
+   frequency-ranked ID mapping (:mod:`repro.core.idmap`);
+3. linearize the ID matrix (column order by default) and compress it with
+   the configured backend codec ("solver");
+4. hand the low-order matrix to the ISOBAR partitioner;
+5. write the per-chunk index metadata, compressed streams, and checksum
+   into a self-describing container.
+
+It also collects :class:`PrimacyStats` -- per-chunk sizes, the
+:math:`\\alpha` / :math:`\\sigma` fractions, and stage timings -- which are
+exactly the inputs of the paper's performance model (Table I), so a
+compression run doubles as a model calibration run.
+
+:class:`PrimacyCodec` adapts the compressor to the generic byte
+:class:`~repro.compressors.base.Codec` interface (registered as
+``"primacy"``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compressors.base import Codec, CodecError, get_codec, register_codec
+from repro.core.bytesplit import (
+    byte_matrix_to_values,
+    combine_bytes,
+    split_bytes,
+    values_to_byte_matrix,
+)
+from repro.core.chunking import DEFAULT_CHUNK_BYTES, Chunker
+from repro.core.idmap import FrequencyIndex, IdMapper, IndexReusePolicy
+from repro.core.linearize import Linearization, delinearize
+from repro.isobar import IsobarConfig, IsobarPartitioner
+from repro.isobar.bitplane import BitplaneAnalysis, BitplanePartitioner
+from repro.util.checksum import adler32
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["PrimacyConfig", "PrimacyChunkStats", "PrimacyStats", "PrimacyCompressor", "PrimacyCodec"]
+
+_MAGIC = b"PRIM"
+_VERSION = 1
+
+_FLAG_CHECKSUM = 0x01
+_FLAG_BIT_ISOBAR = 0x02
+_CHUNK_FLAG_INLINE_INDEX = 0x01
+
+
+@dataclass(frozen=True)
+class PrimacyConfig:
+    """Configuration of the PRIMACY pipeline.
+
+    Attributes
+    ----------
+    codec:
+        Registry name of the backend "solver" compressor (paper: zlib).
+    codec_options:
+        Keyword arguments for the codec constructor.
+    chunk_bytes:
+        In-situ chunk size (paper: 3 MB).
+    word_bytes / high_bytes:
+        Element width and the high-order split width (paper: 8 / 2).
+    linearization:
+        ID-byte serialization order (paper: column).
+    index_policy / correlation_threshold:
+        Per-chunk index rebuild policy (Sec II-F); ``CORRELATED`` rebuilds
+        when the cosine similarity of chunk frequency vectors drops below
+        the threshold.
+    isobar:
+        Analyzer thresholds for the low-order partitioner.
+    isobar_granularity:
+        ``"byte"`` (default) partitions low-order byte columns;
+        ``"bit"`` uses the faithful bit-plane analysis
+        (:mod:`repro.isobar.bitplane`) -- better extraction on
+        partially-regular bytes at ~8x the analysis work.
+    checksum:
+        Seal each chunk with Adler-32 of the original bytes.
+    """
+
+    codec: str = "pyzlib"
+    codec_options: dict = field(default_factory=dict)
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    word_bytes: int = 8
+    high_bytes: int = 2
+    linearization: Linearization = Linearization.COLUMN
+    index_policy: IndexReusePolicy = IndexReusePolicy.PER_CHUNK
+    correlation_threshold: float = 0.95
+    isobar: IsobarConfig = field(default_factory=IsobarConfig)
+    isobar_granularity: str = "byte"
+    checksum: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.high_bytes < self.word_bytes:
+            raise ValueError("high_bytes must be in [1, word_bytes)")
+        if self.high_bytes > 3:
+            raise ValueError("high_bytes > 3 would need a 4+ GiB index table")
+        if self.isobar_granularity not in ("byte", "bit"):
+            raise ValueError("isobar_granularity must be 'byte' or 'bit'")
+
+
+@dataclass
+class PrimacyChunkStats:
+    """Per-chunk measurements (sizes in bytes, times in seconds)."""
+
+    n_values: int
+    n_unique: int
+    index_reused: bool
+    index_bytes: int
+    high_in: int
+    high_out: int
+    low_in: int
+    low_compressible_in: int
+    low_out: int
+    prec_seconds: float
+    codec_seconds: float
+
+    @property
+    def total_in(self) -> int:
+        """Input bytes of this chunk (high + low)."""
+        return self.high_in + self.low_in
+
+    @property
+    def total_out(self) -> int:
+        """Output bytes of this chunk (streams + index)."""
+        return self.high_out + self.low_out + self.index_bytes
+
+
+@dataclass
+class PrimacyStats:
+    """Aggregate statistics of one compression run.
+
+    Provides the paper's model inputs: ``alpha1`` (high-order fraction,
+    treated as the compressible chunk fraction), ``alpha2`` (compressible
+    fraction of the low-order part), ``sigma_ho`` / ``sigma_lo``
+    (compressed-vs-original ratios) and the measured preconditioner /
+    compressor throughputs.
+    """
+
+    chunks: list[PrimacyChunkStats] = field(default_factory=list)
+    container_bytes: int = 0
+    original_bytes: int = 0
+
+    def add(self, chunk: PrimacyChunkStats) -> None:
+        """Record one sample/span/chunk into this accumulator."""
+        self.chunks.append(chunk)
+
+    # -- headline metrics ---------------------------------------------------
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bytes over container bytes (Eqn 1)."""
+        if self.container_bytes == 0:
+            return 1.0
+        return self.original_bytes / self.container_bytes
+
+    @property
+    def metadata_bytes(self) -> int:
+        """The paper's delta: index metadata across all chunks."""
+        return sum(c.index_bytes for c in self.chunks)
+
+    # -- model parameters -----------------------------------------------------
+
+    @property
+    def alpha1(self) -> float:
+        """High-order (ID-mapped) fraction of each chunk."""
+        total = sum(c.total_in for c in self.chunks)
+        if total == 0:
+            return 0.0
+        return sum(c.high_in for c in self.chunks) / total
+
+    @property
+    def alpha2(self) -> float:
+        """Compressible fraction of the low-order bytes (ISOBAR verdict)."""
+        low = sum(c.low_in for c in self.chunks)
+        if low == 0:
+            return 0.0
+        return sum(c.low_compressible_in for c in self.chunks) / low
+
+    @property
+    def sigma_ho(self) -> float:
+        """Compressed/original for the high-order part (index included)."""
+        high = sum(c.high_in for c in self.chunks)
+        if high == 0:
+            return 1.0
+        return sum(c.high_out + c.index_bytes for c in self.chunks) / high
+
+    @property
+    def sigma_lo(self) -> float:
+        """Compressed/original for the compressible low-order columns."""
+        comp_in = sum(c.low_compressible_in for c in self.chunks)
+        if comp_in == 0:
+            return 1.0
+        raw_in = sum(c.low_in - c.low_compressible_in for c in self.chunks)
+        comp_out = sum(c.low_out for c in self.chunks) - raw_in
+        return max(comp_out, 0) / comp_in
+
+    @property
+    def preconditioner_mbps(self) -> float:
+        """Measured preconditioner throughput, MB/s (T_prec)."""
+        t = sum(c.prec_seconds for c in self.chunks)
+        if t == 0:
+            return float("inf")
+        return sum(c.total_in for c in self.chunks) / 1e6 / t
+
+    @property
+    def compressor_mbps(self) -> float:
+        """Measured backend-codec throughput, MB/s (T_comp)."""
+        t = sum(c.codec_seconds for c in self.chunks)
+        if t == 0:
+            return float("inf")
+        compressed_input = sum(
+            c.high_in + c.low_compressible_in for c in self.chunks
+        )
+        return compressed_input / 1e6 / t
+
+
+class _TimingCodec(Codec):
+    """Proxy that accumulates time spent inside the backend codec."""
+
+    name = "timing-proxy"
+
+    def __init__(self, inner: Codec) -> None:
+        self.inner = inner
+        self.seconds = 0.0
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-describing stream (Codec API)."""
+        t0 = time.perf_counter()
+        out = self.inner.compress(data)
+        self.seconds += time.perf_counter() - t0
+        return out
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly (Codec API)."""
+        t0 = time.perf_counter()
+        out = self.inner.decompress(data)
+        self.seconds += time.perf_counter() - t0
+        return out
+
+
+class PrimacyCompressor:
+    """Chunked PRIMACY compressor with a self-describing container."""
+
+    def __init__(self, config: PrimacyConfig | None = None) -> None:
+        self.config = config or PrimacyConfig()
+        self._codec = get_codec(self.config.codec, **self.config.codec_options)
+        self._mapper = IdMapper(seq_bytes=self.config.high_bytes)
+        self._chunker = Chunker(self.config.chunk_bytes, self.config.word_bytes)
+
+    def _make_partitioner(self, codec):
+        if self.config.isobar_granularity == "bit":
+            return BitplanePartitioner(codec)
+        return IsobarPartitioner(codec, self.config.isobar)
+
+    # ------------------------------------------------------------------ #
+    # compression                                                         #
+    # ------------------------------------------------------------------ #
+
+    def compress(self, data: bytes) -> tuple[bytes, PrimacyStats]:
+        """Compress raw bytes of little-endian words; returns (container, stats)."""
+        data = bytes(data)
+        cfg = self.config
+        stats = PrimacyStats(original_bytes=len(data))
+        chunks, tail = self._chunker.split(data)
+
+        out = bytearray()
+        out += _MAGIC
+        out.append(_VERSION)
+        flags = _FLAG_CHECKSUM if cfg.checksum else 0
+        if cfg.isobar_granularity == "bit":
+            flags |= _FLAG_BIT_ISOBAR
+        out.append(flags)
+        codec_name = cfg.codec.encode("ascii")
+        out += encode_uvarint(len(codec_name))
+        out += codec_name
+        out += encode_uvarint(cfg.word_bytes)
+        out += encode_uvarint(cfg.high_bytes)
+        out.append(0 if cfg.linearization is Linearization.COLUMN else 1)
+        out += encode_uvarint(len(data))
+        out += encode_uvarint(len(tail))
+        out += tail
+        out += encode_uvarint(len(chunks))
+
+        prev_index: FrequencyIndex | None = None
+        prev_freq: np.ndarray | None = None
+        for chunk in chunks:
+            record, chunk_stats, prev_index, prev_freq = self._compress_chunk(
+                chunk.data, prev_index, prev_freq
+            )
+            out += encode_uvarint(len(record))
+            out += record
+            stats.add(chunk_stats)
+        stats.container_bytes = len(out)
+        return bytes(out), stats
+
+    # -- public chunk-level API (used by repro.storage) -------------------
+
+    def compress_chunk(
+        self,
+        chunk: bytes,
+        state: tuple[FrequencyIndex, np.ndarray] | None = None,
+    ) -> tuple[bytes, PrimacyChunkStats, tuple[FrequencyIndex, np.ndarray]]:
+        """Compress one word-aligned chunk into a self-contained record.
+
+        ``state`` carries the (index, frequency-vector) pair from the
+        previous chunk for the index-reuse policies; pass the returned
+        state into the next call.  Records produced here are the same as
+        the container's chunk records.
+        """
+        if len(chunk) % self.config.word_bytes:
+            raise ValueError("chunk must hold whole words")
+        prev_index, prev_freq = state if state is not None else (None, None)
+        record, stats, index, freq = self._compress_chunk(
+            chunk, prev_index, prev_freq
+        )
+        return record, stats, (index, freq)
+
+    def decompress_chunk(
+        self,
+        record: bytes,
+        current_index: FrequencyIndex | None = None,
+    ) -> tuple[bytes, FrequencyIndex]:
+        """Decompress one chunk record produced by :meth:`compress_chunk`.
+
+        ``current_index`` must be the index in effect from the preceding
+        chunk when the record reuses an index (see
+        :func:`chunk_record_index_section` for random-access handling).
+        Returns ``(chunk_bytes, index_in_effect)``.
+        """
+        cfg = self.config
+        return self._decompress_chunk(
+            record,
+            self._mapper,
+            self._make_partitioner(self._codec),
+            self._codec,
+            cfg.word_bytes,
+            cfg.high_bytes,
+            cfg.linearization,
+            cfg.checksum,
+            current_index,
+        )
+
+    def _compress_chunk(
+        self,
+        chunk: bytes,
+        prev_index: FrequencyIndex | None,
+        prev_freq: np.ndarray | None,
+    ) -> tuple[bytes, PrimacyChunkStats, FrequencyIndex, np.ndarray]:
+        cfg = self.config
+        timing_codec = _TimingCodec(self._codec)
+        partitioner = self._make_partitioner(timing_codec)
+
+        t_prec = 0.0
+
+        # --- preconditioning: split + frequency analysis + ID mapping ---
+        t0 = time.perf_counter()
+        matrix = values_to_byte_matrix(chunk, cfg.word_bytes)
+        high, low = split_bytes(matrix, cfg.high_bytes)
+        seqs = self._mapper.sequences(high)
+        freq = self._mapper.frequencies(seqs)
+        reuse = self._should_reuse(prev_index, prev_freq, freq)
+        if reuse:
+            base_index = prev_index
+        else:
+            base_index = self._mapper.index_from_frequencies(freq)
+        id_matrix, used_index = self._mapper.apply(high, base_index)
+        if cfg.linearization is Linearization.COLUMN:
+            id_stream = np.ascontiguousarray(id_matrix.T).tobytes()
+        else:
+            id_stream = np.ascontiguousarray(id_matrix).tobytes()
+        t_prec += time.perf_counter() - t0
+
+        # --- solver: backend codec over the ID stream ---
+        high_compressed = timing_codec.compress(id_stream)
+
+        # --- ISOBAR on the low-order matrix (analysis time counts as
+        #     preconditioning; codec time is captured by the proxy) ---
+        t0 = time.perf_counter()
+        analysis = partitioner.analyze(low)
+        t_prec += time.perf_counter() - t0
+        low_blob = partitioner.compress_with_analysis(low, analysis)
+
+        # --- serialize the chunk record ---
+        record = bytearray()
+        flags = 0 if reuse else _CHUNK_FLAG_INLINE_INDEX
+        record.append(flags)
+        record += encode_uvarint(matrix.shape[0])
+        if reuse:
+            extension = used_index.values[base_index.n_unique :]
+            record += encode_uvarint(extension.size)
+            width = ">u4" if cfg.high_bytes > 2 else ">u2"
+            record += extension.astype(width).tobytes()
+            index_bytes = len(encode_uvarint(extension.size)) + extension.size * (
+                4 if cfg.high_bytes > 2 else 2
+            )
+        else:
+            blob = used_index.serialize()
+            record += blob
+            index_bytes = len(blob)
+        record += encode_uvarint(len(high_compressed))
+        record += high_compressed
+        record += encode_uvarint(len(low_blob))
+        record += low_blob
+        if cfg.checksum:
+            record += adler32(chunk).to_bytes(4, "big")
+
+        if isinstance(analysis, BitplaneAnalysis):
+            low_compressible = int(round(low.size * analysis.compressible_fraction))
+        else:
+            low_compressible = matrix.shape[0] * int(
+                analysis.compressible_columns.size
+            )
+        chunk_stats = PrimacyChunkStats(
+            n_values=matrix.shape[0],
+            n_unique=used_index.n_unique,
+            index_reused=reuse,
+            index_bytes=index_bytes,
+            high_in=high.size,
+            high_out=len(high_compressed),
+            low_in=low.size,
+            low_compressible_in=low_compressible,
+            low_out=len(low_blob),
+            prec_seconds=t_prec,
+            codec_seconds=timing_codec.seconds,
+        )
+        return bytes(record), chunk_stats, used_index, freq
+
+    def _should_reuse(
+        self,
+        prev_index: FrequencyIndex | None,
+        prev_freq: np.ndarray | None,
+        freq: np.ndarray,
+    ) -> bool:
+        policy = self.config.index_policy
+        if prev_index is None:
+            return False
+        if policy is IndexReusePolicy.PER_CHUNK:
+            return False
+        if policy is IndexReusePolicy.FIRST_CHUNK:
+            return True
+        corr = IdMapper.frequency_correlation(prev_freq, freq)
+        return corr >= self.config.correlation_threshold
+
+    # ------------------------------------------------------------------ #
+    # decompression                                                       #
+    # ------------------------------------------------------------------ #
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly (Codec API)."""
+        if data[:4] != _MAGIC:
+            raise CodecError("not a PRIMACY container")
+        version = data[4]
+        if version != _VERSION:
+            raise CodecError(f"unsupported container version {version}")
+        flags = data[5]
+        use_checksum = bool(flags & _FLAG_CHECKSUM)
+        bit_isobar = bool(flags & _FLAG_BIT_ISOBAR)
+        pos = 6
+        name_len, pos = decode_uvarint(data, pos)
+        codec_name = data[pos : pos + name_len].decode("ascii")
+        pos += name_len
+        if codec_name == self.config.codec:
+            codec = self._codec
+        else:
+            try:
+                codec = get_codec(codec_name)
+            except KeyError as exc:
+                raise CodecError(f"unknown backend codec {codec_name!r}") from exc
+        word_bytes, pos = decode_uvarint(data, pos)
+        high_bytes, pos = decode_uvarint(data, pos)
+        linearization = Linearization.COLUMN if data[pos] == 0 else Linearization.ROW
+        pos += 1
+        total_len, pos = decode_uvarint(data, pos)
+        tail_len, pos = decode_uvarint(data, pos)
+        tail = data[pos : pos + tail_len]
+        pos += tail_len
+        n_chunks, pos = decode_uvarint(data, pos)
+
+        mapper = IdMapper(seq_bytes=high_bytes)
+        partitioner = (
+            BitplanePartitioner(codec)
+            if bit_isobar
+            else IsobarPartitioner(codec, self.config.isobar)
+        )
+        parts: list[bytes] = []
+        current_index: FrequencyIndex | None = None
+        for _ in range(n_chunks):
+            record_len, pos = decode_uvarint(data, pos)
+            record = data[pos : pos + record_len]
+            if len(record) != record_len:
+                raise CodecError("truncated chunk record")
+            pos += record_len
+            chunk_bytes, current_index = self._decompress_chunk(
+                record,
+                mapper,
+                partitioner,
+                codec,
+                word_bytes,
+                high_bytes,
+                linearization,
+                use_checksum,
+                current_index,
+            )
+            parts.append(chunk_bytes)
+        result = b"".join(parts) + tail
+        if len(result) != total_len:
+            raise CodecError("container length mismatch")
+        return result
+
+    @staticmethod
+    def _decompress_chunk(
+        record: bytes,
+        mapper: IdMapper,
+        partitioner: IsobarPartitioner,
+        codec: Codec,
+        word_bytes: int,
+        high_bytes: int,
+        linearization: Linearization,
+        use_checksum: bool,
+        current_index: FrequencyIndex | None,
+    ) -> tuple[bytes, FrequencyIndex]:
+        flags = record[0]
+        pos = 1
+        n_values, pos = decode_uvarint(record, pos)
+        if flags & _CHUNK_FLAG_INLINE_INDEX:
+            index, pos = FrequencyIndex.deserialize(record, pos)
+        else:
+            if current_index is None:
+                raise CodecError("chunk reuses an index but none precedes it")
+            n_ext, pos = decode_uvarint(record, pos)
+            itemsize = 4 if high_bytes > 2 else 2
+            width = ">u4" if high_bytes > 2 else ">u2"
+            raw = record[pos : pos + n_ext * itemsize]
+            if len(raw) != n_ext * itemsize:
+                raise CodecError("truncated index extension")
+            pos += n_ext * itemsize
+            extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
+            index = current_index.extended(extension)
+        high_len, pos = decode_uvarint(record, pos)
+        high_compressed = record[pos : pos + high_len]
+        pos += high_len
+        low_len, pos = decode_uvarint(record, pos)
+        low_blob = record[pos : pos + low_len]
+        pos += low_len
+
+        id_stream = codec.decompress(high_compressed)
+        id_matrix = delinearize(id_stream, n_values, high_bytes, linearization)
+        high = mapper.invert(id_matrix, index)
+        low = partitioner.decompress(low_blob)
+        if low.shape != (n_values, word_bytes - high_bytes):
+            raise CodecError("low-order matrix shape mismatch")
+        matrix = combine_bytes(high, low)
+        chunk = byte_matrix_to_values(matrix)
+        if use_checksum:
+            stored = int.from_bytes(record[pos : pos + 4], "big")
+            if adler32(chunk) != stored:
+                raise CodecError("chunk checksum mismatch")
+        return chunk, index
+
+
+def chunk_record_index_section(
+    record: bytes, high_bytes: int
+) -> tuple[bool, FrequencyIndex | np.ndarray, int]:
+    """Parse only the index section of a chunk record (cheap).
+
+    Random access into a chunked stream needs the index *in effect* at a
+    chunk without decompressing its predecessors.  This helper extracts,
+    from a record, either its inline :class:`FrequencyIndex` or the
+    extension values it appended to the inherited index -- without
+    touching the compressed payloads.
+
+    Returns ``(inline, index_or_extension, n_values)``.
+    """
+    flags = record[0]
+    pos = 1
+    n_values, pos = decode_uvarint(record, pos)
+    if flags & _CHUNK_FLAG_INLINE_INDEX:
+        index, _ = FrequencyIndex.deserialize(record, pos)
+        return True, index, n_values
+    n_ext, pos = decode_uvarint(record, pos)
+    itemsize = 4 if high_bytes > 2 else 2
+    width = ">u4" if high_bytes > 2 else ">u2"
+    raw = record[pos : pos + n_ext * itemsize]
+    if len(raw) != n_ext * itemsize:
+        raise CodecError("truncated index extension")
+    extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
+    return False, extension, n_values
+
+
+@register_codec
+class PrimacyCodec(Codec):
+    """Byte-codec adapter around :class:`PrimacyCompressor`.
+
+    Lets PRIMACY drop into any place a plain codec fits (benchmark
+    harness, CLI, the I/O pipeline simulator).
+    """
+
+    name = "primacy"
+
+    def __init__(self, config: PrimacyConfig | None = None, **kwargs) -> None:
+        if config is None:
+            config = PrimacyConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a config or keyword options, not both")
+        self.compressor = PrimacyCompressor(config)
+        self.last_stats: PrimacyStats | None = None
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-describing stream (Codec API)."""
+        out, stats = self.compressor.compress(data)
+        self.last_stats = stats
+        return out
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` exactly (Codec API)."""
+        return self.compressor.decompress(data)

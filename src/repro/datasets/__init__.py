@@ -1,0 +1,48 @@
+"""Synthetic stand-ins for the paper's 20 scientific datasets.
+
+The original datasets (GTS fusion checkpoints, FLASH astrophysics fields,
+NAS parallel benchmark messages, numeric simulations, satellite
+observations) are no longer hosted at the paper's URL and cannot be
+fetched offline.  Each generator here is calibrated to reproduce the
+*byte-level properties PRIMACY interacts with*:
+
+* a narrow, skewed set of high-order (sign/exponent) byte sequences --
+  the paper found most datasets use < 2,000 of the 65,536 possibilities;
+* near-random low-order mantissa bytes, with a dataset-dependent number of
+  *quantized* (compressible) trailing bits for ISOBAR to find;
+* value-level smoothness (dimensional correlation) controlling how well
+  the fpc/fpzip predictive comparators do;
+* special structure where the paper calls it out (``msg_sppm`` is
+  "easy-to-compress": large repeated regions, zlib CR 7.4).
+
+See :data:`repro.datasets.registry.DATASETS` for the per-dataset knobs and
+the Table III zlib CR each is calibrated against.
+"""
+
+from repro.datasets.generators import generate, generate_bytes
+from repro.datasets.io import DATA_DIR_ENV, find_real_file, load_values, real_data_dir
+from repro.datasets.registry import (
+    DATASETS,
+    FIGURE1_DATASETS,
+    FIGURE3_DATASETS,
+    FIGURE4_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    get_spec,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "FIGURE1_DATASETS",
+    "FIGURE3_DATASETS",
+    "FIGURE4_DATASETS",
+    "dataset_names",
+    "get_spec",
+    "generate",
+    "generate_bytes",
+    "DATA_DIR_ENV",
+    "real_data_dir",
+    "find_real_file",
+    "load_values",
+]

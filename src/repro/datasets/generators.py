@@ -1,0 +1,151 @@
+"""Synthetic dataset synthesis from :class:`~repro.datasets.registry.DatasetSpec`.
+
+Construction recipe (all vectorized):
+
+1. **Smooth field** -- white noise convolved with a geometric kernel whose
+   decay is the spec's ``smoothness`` (an AR(1)-shaped spectrum without a
+   serial filter loop).
+2. **Magnitude mapping** -- the field modulates a log-magnitude
+   ``10**(exponent_center + exponent_decades * field/2)``, confining values
+   to the spec's exponent range; white ``noise`` is mixed in *relative* to
+   the local magnitude so turbulence does not widen the exponent range.
+3. **Signs** -- a (smooth-field-correlated) subset of values is negated.
+4. **Quantization** -- values are rounded to ``quantize_bits`` significant
+   bits via frexp/ldexp, creating the trailing zero-mantissa bytes that
+   ISOBAR classifies compressible.
+5. **Tiling** -- if ``tile`` is set, the stream is built by repeating one
+   block with occasional fresh blocks (easy-to-compress structure).
+
+Generation is deterministic in ``(name, n_values, seed)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.datasets.io import find_real_file, load_values
+from repro.datasets.registry import DatasetSpec, get_spec
+
+__all__ = ["generate", "generate_bytes"]
+
+_KERNEL_LEN = 64
+
+
+def _seed_for(name: str, seed: int) -> np.random.Generator:
+    digest = hashlib.sha256(f"{name}:{seed}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def _smooth_field(rng: np.random.Generator, n: int, smoothness: float) -> np.ndarray:
+    """Zero-mean, unit-scale field with AR(1)-like correlation."""
+    white = rng.standard_normal(n + _KERNEL_LEN)
+    if smoothness <= 0:
+        field = white[:n]
+    else:
+        kernel = smoothness ** np.arange(_KERNEL_LEN, dtype=np.float64)
+        kernel /= np.sqrt((kernel**2).sum())  # unit output variance
+        field = np.convolve(white, kernel, mode="full")[_KERNEL_LEN : _KERNEL_LEN + n]
+    # Normalize to a stable [-1, 1]-ish range.
+    scale = np.std(field)
+    return field / scale if scale > 0 else field
+
+
+def _quantize(values: np.ndarray, bits: int) -> np.ndarray:
+    """Round to ``bits`` significant mantissa bits (frexp/ldexp, exact)."""
+    mantissa, exponent = np.frexp(values)
+    factor = float(1 << bits)
+    mantissa = np.round(mantissa * factor) / factor
+    return np.ldexp(mantissa, exponent)
+
+
+def generate(name: str, n_values: int = 1 << 16, seed: int = 0) -> np.ndarray:
+    """Generate ``n_values`` float64 values of the named dataset.
+
+    If a real-data directory is configured (``REPRO_DATA_DIR``) and holds
+    a file for this dataset, its values are returned instead of synthetic
+    ones -- see :mod:`repro.datasets.io`.
+    """
+    if n_values < 1:
+        raise ValueError("n_values must be positive")
+    spec = get_spec(name)
+    real = find_real_file(name)
+    if real is not None:
+        return load_values(real, n_values).astype("<f8")
+    rng = _seed_for(name, seed)
+
+    if spec.tile is not None:
+        return _generate_tiled(spec, rng, n_values)
+    return _generate_field(spec, rng, n_values)
+
+
+def _generate_field(
+    spec: DatasetSpec, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    field = _smooth_field(rng, n, spec.smoothness)
+    if spec.trend_fraction > 0:
+        # Piecewise-linear slow trend: adjacent diffs shrink with the
+        # segment length, giving predictive coders something to predict.
+        n_ctrl = max(4, n // 4096)
+        ctrl = rng.standard_normal(n_ctrl + 1)
+        x = np.linspace(0.0, n_ctrl, n)
+        slow = np.interp(x, np.arange(n_ctrl + 1, dtype=np.float64), ctrl)
+        tf = spec.trend_fraction
+        field = (1.0 - tf) * field + tf * slow
+    log_mag = spec.exponent_center + spec.exponent_decades * 0.5 * np.tanh(field)
+    magnitude = np.power(10.0, log_mag)
+    if spec.noise > 0:
+        # Relative noise: preserves the exponent range while scrambling the
+        # mantissa (the "hard-to-compress" ingredient).  Clipped away from
+        # zero so a rare near-cancellation cannot blow the exponent range.
+        rel = 1.0 + spec.noise * rng.standard_normal(n) * 0.3
+        magnitude = magnitude * np.clip(np.abs(rel), 0.3, None)
+    values = magnitude
+    if spec.negative_fraction > 0:
+        flips = rng.random(n) < spec.negative_fraction
+        values = np.where(flips, -values, values)
+    if spec.quantize_bits is not None:
+        values = _quantize(values, spec.quantize_bits)
+    if spec.repeat_fraction > 0 and n > 512:
+        # Exact repeats of short value blocks at small backward distances:
+        # the byte-level redundancy real checkpoints carry (fill values,
+        # converged regions, halo cells).  Blocks of 2-4 values keep the
+        # repeats long enough (16-32 bytes) for small-window dictionary
+        # coders to catch; distances stay inside a 4 KiB byte window.
+        block = 3
+        n_blocks = int(spec.repeat_fraction * n) // block
+        # Positions start past the largest backward distance so the source
+        # block always exists; distances >= block keep src/dst disjoint.
+        pos = rng.integers(256, n - block, n_blocks)
+        dist = rng.integers(block, 256, n_blocks)
+        for p, d in zip(pos.tolist(), dist.tolist()):
+            values[p : p + block] = values[p - d : p - d + block]
+    return values.astype("<f8")
+
+
+def _generate_tiled(
+    spec: DatasetSpec, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """Repetitive stream: a base block tiled with occasional fresh blocks."""
+    block = _generate_field(spec, rng, min(spec.tile, n))
+    reps = (n + block.size - 1) // block.size
+    out = np.tile(block, reps)[:n].copy()
+    # A quarter of the blocks are fresh, and a sprinkle of individual
+    # values is perturbed, so the stream is strongly -- not perfectly --
+    # repetitive (calibrated against msg_sppm's zlib CR of 7.42).
+    n_fresh = max(1, reps // 4)
+    for _ in range(n_fresh):
+        start = int(rng.integers(0, max(n - block.size, 1)))
+        fresh = _generate_field(spec, rng, min(block.size, n - start))
+        out[start : start + fresh.size] = fresh
+    n_perturb = n // 64
+    if n_perturb:
+        where = rng.integers(0, n, n_perturb)
+        out[where] *= 1.0 + 1e-9 * rng.standard_normal(n_perturb)
+    return out.astype("<f8")
+
+
+def generate_bytes(name: str, n_values: int = 1 << 16, seed: int = 0) -> bytes:
+    """Raw little-endian bytes of :func:`generate` (codec-ready)."""
+    return generate(name, n_values, seed).tobytes()

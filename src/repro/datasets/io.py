@@ -1,0 +1,62 @@
+"""Loading externally supplied (real) datasets.
+
+The paper's 20 datasets were once hosted at the authors' site; anyone who
+still has them (raw little-endian float64 files) can point the library at
+a directory and every benchmark will use the real data instead of the
+synthetic stand-ins:
+
+    export REPRO_DATA_DIR=/path/to/datasets   # containing obs_temp.f64 ...
+
+File resolution tries ``<name>.f64``, ``<name>.bin``, ``<name>`` in that
+order.  Values are clipped to the requested count deterministically (a
+prefix), so synthetic and real runs stay comparable in size.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["DATA_DIR_ENV", "real_data_dir", "find_real_file", "load_values"]
+
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+_SUFFIXES = (".f64", ".bin", "")
+
+
+def real_data_dir() -> Path | None:
+    """The configured real-data directory, or None."""
+    value = os.environ.get(DATA_DIR_ENV)
+    if not value:
+        return None
+    path = Path(value)
+    return path if path.is_dir() else None
+
+
+def find_real_file(name: str, directory: Path | None = None) -> Path | None:
+    """Locate the real-data file for a dataset name, if present."""
+    base = directory if directory is not None else real_data_dir()
+    if base is None:
+        return None
+    for suffix in _SUFFIXES:
+        candidate = base / f"{name}{suffix}"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_values(
+    path: str | os.PathLike, n_values: int | None = None, dtype: str = "<f8"
+) -> np.ndarray:
+    """Load raw values from a file (prefix of ``n_values`` if given)."""
+    path = Path(path)
+    itemsize = np.dtype(dtype).itemsize
+    count = -1 if n_values is None else n_values
+    values = np.fromfile(path, dtype=dtype, count=count)
+    if n_values is not None and values.size < n_values:
+        raise ValueError(
+            f"{path} holds {values.size} values "
+            f"(< requested {n_values}, itemsize {itemsize})"
+        )
+    return values

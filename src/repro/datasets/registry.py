@@ -1,0 +1,378 @@
+"""Dataset registry: one spec per Table III row.
+
+Knob semantics (consumed by :mod:`repro.datasets.generators`):
+
+``smoothness``
+    AR(1)-style correlation of the underlying field in [0, 1); high values
+    make predictive coders (fpc/fpzip) effective.
+``exponent_decades``
+    Dynamic range of |value| in decimal decades; wider ranges mean more
+    distinct exponent byte sequences (a harder job for the ID mapper).
+``exponent_center``
+    log10 of the typical magnitude.
+``quantize_bits``
+    Significant mantissa bits kept (None = full 52); fewer bits create
+    trailing zero mantissa bytes, i.e. ISOBAR-compressible columns.
+``negative_fraction``
+    Probability of negative values (adds sign-bit variety to the high
+    bytes).
+``noise``
+    Relative white-noise amplitude mixed into the smooth field; high noise
+    is "turbulence" that defeats predictive coders but not PRIMACY.
+``tile``
+    If set, the field is built from a tiled block of this length --
+    large-scale exact repetition (the ``msg_sppm`` easy-to-compress case).
+``repeat_fraction``
+    Fraction of values that are *exact copies* of recent values.  Real
+    checkpoint/observation data contains repeated values (fill values,
+    boundary cells, converged regions); this is what gives dictionary
+    coders without an entropy stage (lzo) their modest gains, so the
+    Fig-4 datasets carry calibrated amounts of it.
+``trend_fraction``
+    Fraction of the field taken from a *slowly varying* piecewise-linear
+    trend (adjacent diffs orders of magnitude below the AR field's).
+    Together with tiny ``noise`` this creates the deep value-to-value
+    correlation that predictive coders (fpc/fpzip) exploit -- the regime
+    where they beat PRIMACY in the paper's Sec V comparison.
+``dims``
+    Logical dimensionality of the field (used by the fpzip comparator).
+``paper_zlib_cr`` / ``paper_primacy_cr``
+    Table III's measured compression ratios, kept for calibration checks
+    and EXPERIMENTS.md reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "get_spec",
+    "FIGURE1_DATASETS",
+    "FIGURE3_DATASETS",
+    "FIGURE4_DATASETS",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Generator parameters for one synthetic dataset."""
+
+    name: str
+    domain: str
+    description: str
+    smoothness: float
+    exponent_center: float
+    exponent_decades: float
+    quantize_bits: int | None = None
+    negative_fraction: float = 0.0
+    noise: float = 0.3
+    tile: int | None = None
+    repeat_fraction: float = 0.0
+    trend_fraction: float = 0.0
+    dims: int = 1
+    paper_zlib_cr: float = 1.0
+    paper_primacy_cr: float = 1.0
+
+
+def _spec(**kw) -> DatasetSpec:
+    return DatasetSpec(**kw)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        # -- GTS gyrokinetic fusion simulation (hardest to compress) -----
+        _spec(
+            name="gts_chkp_zeon",
+            domain="fusion",
+            description="GTS checkpoint, ion phase-space coordinate",
+            smoothness=0.05,
+            exponent_center=0.8,
+            exponent_decades=0.8,
+            negative_fraction=0.0,
+            noise=0.9,
+            paper_zlib_cr=1.04,
+            paper_primacy_cr=1.14,
+        ),
+        _spec(
+            name="gts_chkp_zion",
+            domain="fusion",
+            description="GTS checkpoint, second phase-space coordinate",
+            smoothness=0.08,
+            exponent_center=0.5,
+            exponent_decades=0.9,
+            negative_fraction=0.0,
+            noise=0.9,
+            paper_zlib_cr=1.04,
+            paper_primacy_cr=1.16,
+        ),
+        _spec(
+            name="gts_phi_l",
+            domain="fusion",
+            description="GTS electrostatic potential, linear phase",
+            smoothness=0.5,
+            exponent_center=-2.0,
+            exponent_decades=1.2,
+            negative_fraction=0.0,
+            noise=8e-5,
+            trend_fraction=1.0,
+            dims=2,
+            paper_zlib_cr=1.04,
+            paper_primacy_cr=1.15,
+        ),
+        _spec(
+            name="gts_phi_nl",
+            trend_fraction=1.0,
+            domain="fusion",
+            description="GTS electrostatic potential, nonlinear phase",
+            smoothness=0.5,
+            exponent_center=-1.5,
+            exponent_decades=1.3,
+            negative_fraction=0.0,
+            noise=4e-4,
+            dims=2,
+            paper_zlib_cr=1.05,
+            paper_primacy_cr=1.15,
+        ),
+        # -- FLASH astrophysics (adaptive mesh hydrodynamics) -------------
+        _spec(
+            name="flash_gamc",
+            domain="astrophysics",
+            description="FLASH adiabatic index gamma_c field",
+            smoothness=0.90,
+            exponent_center=0.2,
+            exponent_decades=0.15,
+            quantize_bits=36,
+            noise=0.15,
+            dims=3,
+            paper_zlib_cr=1.29,
+            paper_primacy_cr=1.47,
+        ),
+        _spec(
+            name="flash_velx",
+            domain="astrophysics",
+            description="FLASH x-velocity field",
+            smoothness=0.75,
+            exponent_center=4.0,
+            exponent_decades=1.5,
+            quantize_bits=46,
+            negative_fraction=0.5,
+            noise=0.6,
+            repeat_fraction=0.10,
+            dims=3,
+            paper_zlib_cr=1.11,
+            paper_primacy_cr=1.31,
+        ),
+        _spec(
+            name="flash_vely",
+            domain="astrophysics",
+            description="FLASH y-velocity field",
+            smoothness=0.78,
+            exponent_center=4.0,
+            exponent_decades=1.4,
+            quantize_bits=44,
+            negative_fraction=0.0,
+            noise=1e-4,
+            trend_fraction=1.0,
+            dims=3,
+            paper_zlib_cr=1.14,
+            paper_primacy_cr=1.31,
+        ),
+        # -- NAS parallel benchmark / message datasets ---------------------
+        _spec(
+            name="msg_bt",
+            domain="parallel-benchmark",
+            description="NAS BT solver MPI message payloads",
+            smoothness=0.55,
+            exponent_center=1.0,
+            exponent_decades=1.0,
+            negative_fraction=0.0,
+            noise=3e-5,
+            trend_fraction=1.0,
+            paper_zlib_cr=1.13,
+            paper_primacy_cr=1.31,
+        ),
+        _spec(
+            name="msg_lu",
+            domain="parallel-benchmark",
+            description="NAS LU solver MPI message payloads",
+            smoothness=0.5,
+            exponent_center=-0.5,
+            exponent_decades=1.1,
+            negative_fraction=0.0,
+            noise=1e-5,
+            trend_fraction=1.0,
+            paper_zlib_cr=1.06,
+            paper_primacy_cr=1.24,
+        ),
+        _spec(
+            name="msg_sp",
+            domain="parallel-benchmark",
+            description="NAS SP solver MPI message payloads",
+            smoothness=0.45,
+            exponent_center=0.5,
+            exponent_decades=1.0,
+            quantize_bits=48,
+            negative_fraction=0.2,
+            noise=0.6,
+            paper_zlib_cr=1.10,
+            paper_primacy_cr=1.30,
+        ),
+        _spec(
+            name="msg_sppm",
+            domain="parallel-benchmark",
+            description="NAS sPPM messages -- easy-to-compress, repetitive",
+            smoothness=0.95,
+            exponent_center=2.0,
+            exponent_decades=0.3,
+            quantize_bits=16,
+            noise=0.02,
+            tile=1024,
+            paper_zlib_cr=7.42,
+            paper_primacy_cr=7.17,
+        ),
+        _spec(
+            name="msg_sweep3d",
+            domain="parallel-benchmark",
+            description="Sweep3D wavefront solver messages",
+            smoothness=0.40,
+            exponent_center=-3.0,
+            exponent_decades=1.2,
+            quantize_bits=48,
+            negative_fraction=0.1,
+            noise=0.6,
+            paper_zlib_cr=1.09,
+            paper_primacy_cr=1.31,
+        ),
+        # -- numeric simulations ------------------------------------------
+        _spec(
+            name="num_brain",
+            domain="numeric-simulation",
+            description="Brain-dynamics impulsive translation model",
+            smoothness=0.5,
+            exponent_center=-1.0,
+            exponent_decades=1.1,
+            negative_fraction=0.0,
+            noise=5e-5,
+            trend_fraction=1.0,
+            dims=3,
+            paper_zlib_cr=1.06,
+            paper_primacy_cr=1.24,
+        ),
+        _spec(
+            name="num_comet",
+            domain="numeric-simulation",
+            description="Comet impact shock physics",
+            smoothness=0.60,
+            exponent_center=3.0,
+            exponent_decades=2.2,
+            quantize_bits=46,
+            negative_fraction=0.1,
+            noise=0.8,
+            repeat_fraction=0.12,
+            dims=2,
+            paper_zlib_cr=1.16,
+            paper_primacy_cr=1.27,
+        ),
+        _spec(
+            name="num_control",
+            domain="numeric-simulation",
+            description="Control-systems state trajectories",
+            smoothness=0.15,
+            exponent_center=0.0,
+            exponent_decades=1.6,
+            negative_fraction=0.5,
+            noise=0.85,
+            paper_zlib_cr=1.06,
+            paper_primacy_cr=1.13,
+        ),
+        _spec(
+            name="num_plasma",
+            domain="numeric-simulation",
+            description="Plasma simulation -- strongly quantized values",
+            smoothness=0.85,
+            exponent_center=1.0,
+            exponent_decades=0.4,
+            quantize_bits=22,
+            noise=0.2,
+            dims=2,
+            paper_zlib_cr=1.78,
+            paper_primacy_cr=2.16,
+        ),
+        # -- observational / satellite data --------------------------------
+        _spec(
+            name="obs_error",
+            domain="observation",
+            description="Weather observation error estimates",
+            smoothness=0.70,
+            exponent_center=-1.0,
+            exponent_decades=0.6,
+            quantize_bits=30,
+            noise=0.3,
+            paper_zlib_cr=1.44,
+            paper_primacy_cr=1.59,
+        ),
+        _spec(
+            name="obs_info",
+            domain="observation",
+            description="Observation information content",
+            smoothness=0.50,
+            exponent_center=0.3,
+            exponent_decades=0.8,
+            quantize_bits=None,
+            noise=4e-4,
+            trend_fraction=1.0,
+            paper_zlib_cr=1.15,
+            paper_primacy_cr=1.25,
+        ),
+        _spec(
+            name="obs_spitzer",
+            domain="observation",
+            description="Spitzer space telescope fluxes",
+            smoothness=0.55,
+            exponent_center=1.5,
+            exponent_decades=1.0,
+            quantize_bits=38,
+            negative_fraction=0.05,
+            noise=0.45,
+            dims=2,
+            paper_zlib_cr=1.23,
+            paper_primacy_cr=1.39,
+        ),
+        _spec(
+            name="obs_temp",
+            domain="observation",
+            description="Atmospheric temperature profiles",
+            smoothness=0.45,
+            exponent_center=2.4,
+            exponent_decades=0.15,
+            negative_fraction=0.0,
+            noise=0.95,
+            repeat_fraction=0.04,
+            paper_zlib_cr=1.04,
+            paper_primacy_cr=1.14,
+        ),
+    ]
+}
+
+# Dataset groups used by specific paper figures.
+FIGURE1_DATASETS = ("gts_phi_l", "num_plasma", "obs_temp", "msg_sweep3d")
+FIGURE3_DATASETS = ("gts_phi_l", "obs_info", "obs_temp", "gts_chkp_zeon")
+FIGURE4_DATASETS = ("num_comet", "flash_velx", "obs_temp")
+
+
+def dataset_names() -> list[str]:
+    """All 20 dataset names in Table III order."""
+    return list(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name (KeyError if unknown)."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise KeyError(f"unknown dataset {name!r}; available: {known}") from None

@@ -1,0 +1,153 @@
+"""Machine description for the staging simulator.
+
+:class:`StagingEnvironment` carries the paper's machine parameters
+(Table I): compute-to-I/O-node ratio :math:`\\rho`, collective network
+throughput :math:`\\theta`, and disk throughputs :math:`\\mu`.
+
+**Scaling (the hardware substitution).**  The paper's codecs are C
+libraries on 2.2 GHz Opterons; ours are pure Python + NumPy, roughly one
+to two orders of magnitude slower.  What determines the *shape* of the
+end-to-end results is not absolute speed but the **balance** between
+compute throughput and network/disk throughput: on Jaguar, zlib
+compresses at ~18 MB/s against a per-node effective write path of a few
+MB/s.  :func:`jaguar_like_environment` therefore scales the machine's
+network/disk rates by ``scale = (our zlib-analogue CTP) / (paper zlib
+CTP)``, preserving that balance.  The simulated throughputs are in
+"scaled MB/s"; all *relative* comparisons (PRIMACY vs zlib vs lzo vs
+null, write vs read) are scale-invariant.  See DESIGN.md's substitution
+table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compressors.base import Codec
+
+__all__ = [
+    "StagingEnvironment",
+    "jaguar_like_environment",
+    "measure_reference_throughput",
+    "PAPER_ZLIB_CTP_MBPS",
+]
+
+# Vanilla zlib compression / decompression throughput on Jaguar's compute
+# nodes, averaged over Table III's hard-to-compress datasets.
+PAPER_ZLIB_CTP_MBPS = 18.0
+PAPER_ZLIB_DTP_MBPS = 85.0
+
+# Machine parameters reverse-engineered from Fig 4's null baselines at
+# rho = 8 (see benchmarks/bench_fig4_write.py for the derivation):
+#   write: tau_null ~ 16 MB/s  ->  theta_w = mu_w = 34 MB/s
+#   read:  tau_null ~ 115 MB/s ->  theta_r = 250 MB/s, mu_r = 340 MB/s
+_JAGUAR_RHO = 8
+_JAGUAR_THETA_WRITE = 34e6
+_JAGUAR_MU_WRITE = 34e6
+_JAGUAR_THETA_READ = 250e6
+_JAGUAR_MU_READ = 340e6
+
+
+@dataclass(frozen=True)
+class StagingEnvironment:
+    """A staging deployment: rho compute nodes per I/O node.
+
+    Network throughput may differ between the write path (checkpoint
+    traffic congests the collective network) and the read path, matching
+    the strong write/read asymmetry in the paper's Fig 4 baselines.
+    """
+
+    rho: int = _JAGUAR_RHO
+    network_write_bps: float = _JAGUAR_THETA_WRITE
+    network_read_bps: float = _JAGUAR_THETA_READ
+    disk_write_bps: float = _JAGUAR_MU_WRITE
+    disk_read_bps: float = _JAGUAR_MU_READ
+    jitter: float = 0.0  # relative stddev of per-node compute time noise
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rho < 1:
+            raise ValueError("rho must be >= 1")
+        for name in (
+            "network_write_bps",
+            "network_read_bps",
+            "disk_write_bps",
+            "disk_read_bps",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+
+def jaguar_like_environment(
+    scale: float = 1.0,
+    rho: int = _JAGUAR_RHO,
+    jitter: float = 0.0,
+    seed: int = 0,
+    read_scale: float | None = None,
+) -> StagingEnvironment:
+    """Jaguar-like machine with network/disk rates scaled by ``scale``.
+
+    ``scale`` should be (this host's zlib-analogue CTP) / 18 MB/s so the
+    write-path compute/communication balance matches the paper's testbed;
+    use :func:`measure_reference_throughput` to obtain it.
+
+    ``read_scale`` (default: ``scale``) scales the read path separately.
+    Pure-Python codecs have a different compress:decompress speed ratio
+    than C zlib, so a single scale cannot preserve the balance of *both*
+    directions; pass (this host's zlib-analogue DTP) / 85 MB/s to keep the
+    read-side balance faithful too (used by the Fig-4b bench).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if read_scale is None:
+        read_scale = scale
+    if read_scale <= 0:
+        raise ValueError("read_scale must be positive")
+    return StagingEnvironment(
+        rho=rho,
+        network_write_bps=_JAGUAR_THETA_WRITE * scale,
+        network_read_bps=_JAGUAR_THETA_READ * read_scale,
+        disk_write_bps=_JAGUAR_MU_WRITE * scale,
+        disk_read_bps=_JAGUAR_MU_READ * read_scale,
+        jitter=jitter,
+        seed=seed,
+    )
+
+
+def measure_reference_throughput(
+    codec: Codec, sample: bytes, repeats: int = 1
+) -> float:
+    """Measured compression throughput of ``codec`` on ``sample``, bytes/s.
+
+    Used to derive the environment ``scale`` factor:
+    ``scale = measure_reference_throughput(pyzlib, sample) / 18e6``.
+    """
+    if not sample:
+        raise ValueError("need a non-empty sample")
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        codec.compress(sample)
+        best = min(best, time.perf_counter() - t0)
+    return len(sample) / best
+
+
+def measure_reference_decompression(
+    codec: Codec, sample: bytes, repeats: int = 1
+) -> float:
+    """Measured decompression throughput (original bytes/s) of ``codec``.
+
+    Used for the read-path scale:
+    ``read_scale = measure_reference_decompression(pyzlib, sample) / 85e6``.
+    """
+    if not sample:
+        raise ValueError("need a non-empty sample")
+    compressed = codec.compress(sample)
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        codec.decompress(compressed)
+        best = min(best, time.perf_counter() - t0)
+    return len(sample) / best

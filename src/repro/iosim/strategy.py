@@ -1,0 +1,139 @@
+"""Compute-node compression strategies for the staging simulator.
+
+A strategy describes what a compute node does to its chunk before handing
+it to the I/O node.  Strategies *execute the real code* and measure its
+wall time -- the simulator is a machine model, not a codec model -- so the
+"empirical" end-to-end numbers in Fig 4 carry genuine compression and
+decompression costs.
+
+Three strategies mirror the paper's Sec IV-C/IV-D comparison grid:
+
+* :class:`NullStrategy` -- the uncompressed base case.
+* :class:`CodecStrategy` -- vanilla whole-chunk compression (the paper's
+  "zlib" and "lzo" bars, with ``pyzlib`` / ``pylzo`` behind them).
+* :class:`PrimacyStrategy` -- PRIMACY at the compute node, exposing the
+  measured :class:`~repro.core.PrimacyStats` so the analytical model can
+  be calibrated from the very same run.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+from repro.compressors.base import Codec, CodecError
+from repro.core.primacy import PrimacyCompressor, PrimacyConfig, PrimacyStats
+
+__all__ = [
+    "ChunkWork",
+    "CompressionStrategy",
+    "NullStrategy",
+    "CodecStrategy",
+    "PrimacyStrategy",
+]
+
+
+@dataclass(frozen=True)
+class ChunkWork:
+    """Result of processing one chunk on a compute node.
+
+    ``payload`` is what travels over the network; ``compress_seconds`` /
+    ``decompress_seconds`` are measured single-node CPU times for the
+    forward and inverse transforms.
+    """
+
+    original_bytes: int
+    payload: bytes
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def payload_bytes(self) -> int:
+        """Compressed bytes across the run."""
+        return len(self.payload)
+
+    @property
+    def compressed_fraction(self) -> float:
+        """Payload bytes over original bytes."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.payload_bytes / self.original_bytes
+
+
+class CompressionStrategy(abc.ABC):
+    """What a compute node does to its chunk."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def process_chunk(self, chunk: bytes) -> ChunkWork:
+        """Compress ``chunk``, verify the round trip, measure both ways."""
+
+
+class NullStrategy(CompressionStrategy):
+    """No compression: the chunk ships as-is."""
+
+    name = "null"
+
+    def process_chunk(self, chunk: bytes) -> ChunkWork:
+        """Process one chunk per the strategy (measured)."""
+        return ChunkWork(
+            original_bytes=len(chunk),
+            payload=chunk,
+            compress_seconds=0.0,
+            decompress_seconds=0.0,
+        )
+
+
+class CodecStrategy(CompressionStrategy):
+    """Vanilla whole-chunk compression with any registered codec."""
+
+    def __init__(self, codec: Codec) -> None:
+        self.codec = codec
+        self.name = codec.name
+
+    def process_chunk(self, chunk: bytes) -> ChunkWork:
+        """Process one chunk per the strategy (measured)."""
+        t0 = time.perf_counter()
+        payload = self.codec.compress(chunk)
+        t_comp = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        restored = self.codec.decompress(payload)
+        t_decomp = time.perf_counter() - t0
+        if restored != chunk:
+            raise CodecError(f"strategy {self.name!r} failed round trip")
+        return ChunkWork(
+            original_bytes=len(chunk),
+            payload=payload,
+            compress_seconds=t_comp,
+            decompress_seconds=t_decomp,
+        )
+
+
+class PrimacyStrategy(CompressionStrategy):
+    """PRIMACY preconditioning + backend codec at the compute node."""
+
+    name = "primacy"
+
+    def __init__(self, config: PrimacyConfig | None = None) -> None:
+        self.compressor = PrimacyCompressor(config)
+        self.last_stats: PrimacyStats | None = None
+
+    def process_chunk(self, chunk: bytes) -> ChunkWork:
+        """Process one chunk per the strategy (measured)."""
+        t0 = time.perf_counter()
+        payload, stats = self.compressor.compress(chunk)
+        t_comp = time.perf_counter() - t0
+        self.last_stats = stats
+        t0 = time.perf_counter()
+        restored = self.compressor.decompress(payload)
+        t_decomp = time.perf_counter() - t0
+        if restored != chunk:
+            raise CodecError("PRIMACY strategy failed round trip")
+        return ChunkWork(
+            original_bytes=len(chunk),
+            payload=payload,
+            compress_seconds=t_comp,
+            decompress_seconds=t_decomp,
+        )

@@ -1,0 +1,109 @@
+"""Stage timelines for simulated I/O steps.
+
+Turns a :class:`~repro.iosim.simulator.SimResult` into an explicit span
+timeline -- per-node compute spans running in parallel, then the shared
+network transfer, then the disk stage behind the bulk-synchronous barrier
+-- and renders it as an ASCII Gantt chart.  Makes the model's additive
+time composition *visible*: the whole point of in-situ compression is
+that the (parallel) compute lane buys a shorter (serial) I/O lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iosim.simulator import SimResult
+
+__all__ = ["Span", "Timeline", "timeline_from_result"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One half-open activity interval on a lane."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("span ends before it starts")
+
+
+class Timeline:
+    """Ordered collection of spans with an ASCII renderer."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def add(self, lane: str, label: str, start: float, end: float) -> None:
+        """Record one sample/span/chunk into this accumulator."""
+        self.spans.append(Span(lane=lane, label=label, start=start, end=end))
+
+    @property
+    def makespan(self) -> float:
+        """End time of the latest span."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    def lanes(self) -> list[str]:
+        """Lane names in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.lane, None)
+        return list(seen)
+
+    def render(self, width: int = 64) -> str:
+        """ASCII Gantt: one row per lane, '#' marks activity."""
+        total = self.makespan
+        if total == 0:
+            return "(empty timeline)"
+        lane_width = max(len(lane) for lane in self.lanes())
+        lines = []
+        for lane in self.lanes():
+            row = [" "] * width
+            for span in self.spans:
+                if span.lane != lane:
+                    continue
+                a = int(span.start / total * (width - 1))
+                b = max(int(span.end / total * (width - 1)), a)
+                for i in range(a, b + 1):
+                    row[i] = "#"
+            lines.append(f"{lane.ljust(lane_width)} |{''.join(row)}|")
+        lines.append(
+            f"{' ' * lane_width} 0{' ' * (width - len(f'{total:.3f}s') - 1)}"
+            f"{total:.3f}s"
+        )
+        return "\n".join(lines)
+
+
+def timeline_from_result(result: SimResult) -> Timeline:
+    """Reconstruct the bulk-synchronous stage timeline of one step.
+
+    Writes: per-node compute in parallel from t=0; the network transfer
+    starts at the barrier (slowest node); disk I/O follows the transfer.
+    Reads run the inverse order.
+    """
+    tl = Timeline()
+    if result.direction == "write":
+        for i, work in enumerate(result.node_works):
+            if work.compress_seconds > 0:
+                tl.add(f"node{i}", "compress", 0.0, work.compress_seconds)
+        t = result.t_compute
+        tl.add("network", "transfer", t, t + result.t_transfer)
+        t += result.t_transfer
+        tl.add("disk", "write", t, t + result.t_disk)
+    else:
+        tl.add("disk", "read", 0.0, result.t_disk)
+        t = result.t_disk
+        tl.add("network", "transfer", t, t + result.t_transfer)
+        t += result.t_transfer
+        for i, work in enumerate(result.node_works):
+            if work.decompress_seconds > 0:
+                tl.add(f"node{i}", "decompress", t, t + work.decompress_seconds)
+    return tl

@@ -1,0 +1,29 @@
+"""ISOBAR: sampling analyzer + byte-column partitioner (ICDE 2012).
+
+PRIMACY hands the six low-order (mantissa) bytes of every double to
+ISOBAR (Sec II-G of the paper).  ISOBAR samples the data, scores each
+*byte column* for compressibility, and partitions columns into a
+compressible set (worth running through the backend compressor) and an
+incompressible set (stored raw, saving the compressor's time for nothing).
+
+* :mod:`repro.isobar.analyzer` -- sampling, per-column statistics, and the
+  empirical-threshold classifier.
+* :mod:`repro.isobar.partitioner` -- the container that splits, compresses,
+  stores, and losslessly reassembles the byte matrix.
+"""
+
+from repro.isobar.analyzer import (
+    ColumnReport,
+    IsobarAnalysis,
+    IsobarAnalyzer,
+    IsobarConfig,
+)
+from repro.isobar.partitioner import IsobarPartitioner
+
+__all__ = [
+    "ColumnReport",
+    "IsobarAnalysis",
+    "IsobarAnalyzer",
+    "IsobarConfig",
+    "IsobarPartitioner",
+]

@@ -1,0 +1,133 @@
+"""ISOBAR compressibility analysis.
+
+The analyzer answers one question per byte column of an ``N x k`` byte
+matrix: *is running this column through a byte-level entropy coder worth
+the time?*  Following the ISOBAR paper's design (sampling + frequency
+analysis against empirically formed thresholds), the score is based on the
+zeroth-order statistics a byte-granular compressor can actually exploit:
+
+* the column's byte entropy (bits/byte), and
+* the frequency of its most common byte value.
+
+A column is *compressible* when its sampled entropy is below
+``entropy_threshold`` **or** its top-byte frequency is above
+``top_byte_threshold`` (a very skewed column compresses well even when the
+raw entropy number looks middling, thanks to run-length effects).
+
+Sampling keeps analysis cost ~constant: ``sample_rows`` rows are taken at a
+fixed stride (deterministic, so analysis is reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.entropy import byte_entropy, top_byte_fraction
+
+__all__ = ["IsobarConfig", "ColumnReport", "IsobarAnalysis", "IsobarAnalyzer"]
+
+
+@dataclass(frozen=True)
+class IsobarConfig:
+    """Tuning knobs for the analyzer.
+
+    The default thresholds were calibrated on the synthetic dataset suite
+    (see ``benchmarks/bench_table3.py``): they classify quantized-mantissa
+    columns as compressible while rejecting full-entropy noise columns.
+    """
+
+    sample_rows: int = 4096
+    entropy_threshold: float = 6.5  # bits/byte
+    top_byte_threshold: float = 0.10
+
+
+@dataclass(frozen=True)
+class ColumnReport:
+    """Per-column statistics and verdict."""
+
+    column: int
+    entropy_bits: float
+    top_byte_fraction: float
+    compressible: bool
+
+
+@dataclass(frozen=True)
+class IsobarAnalysis:
+    """Result of analyzing one byte matrix."""
+
+    n_rows: int
+    n_cols: int
+    reports: tuple[ColumnReport, ...]
+    config: IsobarConfig = field(default_factory=IsobarConfig)
+
+    @property
+    def compressible_columns(self) -> np.ndarray:
+        """Indices of columns classified compressible."""
+        return np.array(
+            [r.column for r in self.reports if r.compressible], dtype=np.int64
+        )
+
+    @property
+    def incompressible_columns(self) -> np.ndarray:
+        """Indices of columns classified incompressible."""
+        return np.array(
+            [r.column for r in self.reports if not r.compressible], dtype=np.int64
+        )
+
+    @property
+    def compressible_fraction(self) -> float:
+        """Fraction of columns classified compressible (the model's alpha2)."""
+        if not self.reports:
+            return 0.0
+        return sum(r.compressible for r in self.reports) / len(self.reports)
+
+
+class IsobarAnalyzer:
+    """Samples a byte matrix and classifies each byte column."""
+
+    def __init__(self, config: IsobarConfig | None = None) -> None:
+        self.config = config or IsobarConfig()
+
+    def sample(self, matrix: np.ndarray) -> np.ndarray:
+        """Deterministic strided row sample of ``matrix``."""
+        matrix = _as_matrix(matrix)
+        n = matrix.shape[0]
+        if n <= self.config.sample_rows:
+            return matrix
+        stride = n // self.config.sample_rows
+        return matrix[:: stride][: self.config.sample_rows]
+
+    def analyze(self, matrix: np.ndarray) -> IsobarAnalysis:
+        """Classify every byte column of an ``N x k`` uint8 matrix."""
+        matrix = _as_matrix(matrix)
+        sampled = self.sample(matrix)
+        cfg = self.config
+        reports = []
+        for col in range(matrix.shape[1]):
+            column = np.ascontiguousarray(sampled[:, col])
+            h = byte_entropy(column)
+            top = top_byte_fraction(column)
+            compressible = h < cfg.entropy_threshold or top > cfg.top_byte_threshold
+            reports.append(
+                ColumnReport(
+                    column=col,
+                    entropy_bits=h,
+                    top_byte_fraction=top,
+                    compressible=compressible,
+                )
+            )
+        return IsobarAnalysis(
+            n_rows=matrix.shape[0],
+            n_cols=matrix.shape[1],
+            reports=tuple(reports),
+            config=cfg,
+        )
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if matrix.dtype != np.uint8 or matrix.ndim != 2:
+        raise ValueError("ISOBAR expects an N x k uint8 byte matrix")
+    return matrix

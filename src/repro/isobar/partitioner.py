@@ -1,0 +1,151 @@
+"""ISOBAR partitioner: compress compressible byte columns, store the rest.
+
+Given an ``N x k`` byte matrix (PRIMACY feeds it the ``N x 6`` mantissa
+matrix), the partitioner:
+
+1. runs :class:`~repro.isobar.analyzer.IsobarAnalyzer` to pick the
+   compressible column set;
+2. column-linearizes each group (transposing so each byte column is
+   contiguous -- cache-friendly and run-friendly, Sec II-D);
+3. compresses the compressible group with the backend codec and stores the
+   incompressible group verbatim.
+
+Container layout (all integers uvarint)::
+
+    n_rows, n_cols
+    column bitmap (ceil(n_cols / 8) bytes; bit set = compressible)
+    compressed-group length, compressed bytes
+    raw-group length, raw bytes
+
+The decompressed matrix is reassembled column-by-column, bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Codec, CodecError
+from repro.isobar.analyzer import IsobarAnalysis, IsobarAnalyzer, IsobarConfig
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["IsobarPartitioner"]
+
+
+class IsobarPartitioner:
+    """Analyze-partition-compress pipeline for hard-to-compress byte data."""
+
+    def __init__(
+        self,
+        codec: Codec,
+        config: IsobarConfig | None = None,
+    ) -> None:
+        self.codec = codec
+        self.analyzer = IsobarAnalyzer(config)
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, matrix: np.ndarray) -> bytes:
+        """Compress an ``N x k`` uint8 matrix; returns the container bytes."""
+        matrix = np.asarray(matrix)
+        if matrix.dtype != np.uint8 or matrix.ndim != 2:
+            raise ValueError("ISOBAR expects an N x k uint8 byte matrix")
+        analysis = self.analyze(matrix)
+        return self.compress_with_analysis(matrix, analysis)
+
+    def analyze(self, matrix: np.ndarray) -> IsobarAnalysis:
+        """Classify the matrix; returns the analysis result."""
+        return self.analyzer.analyze(matrix)
+
+    def compress_with_analysis(
+        self, matrix: np.ndarray, analysis: IsobarAnalysis
+    ) -> bytes:
+        """Compress using a precomputed analysis."""
+        n_rows, n_cols = matrix.shape
+        comp_cols = analysis.compressible_columns
+        raw_cols = analysis.incompressible_columns
+
+        out = bytearray()
+        out += encode_uvarint(n_rows)
+        out += encode_uvarint(n_cols)
+        bitmap = np.zeros(n_cols, dtype=np.uint8)
+        bitmap[comp_cols] = 1
+        out += np.packbits(bitmap).tobytes()
+
+        # Column linearization: transpose so each column is contiguous.
+        comp_group = (
+            np.ascontiguousarray(matrix[:, comp_cols].T).tobytes()
+            if comp_cols.size
+            else b""
+        )
+        raw_group = (
+            np.ascontiguousarray(matrix[:, raw_cols].T).tobytes()
+            if raw_cols.size
+            else b""
+        )
+        compressed = self.codec.compress(comp_group) if comp_group else b""
+        out += encode_uvarint(len(compressed))
+        out += compressed
+        out += encode_uvarint(len(raw_group))
+        out += raw_group
+        return bytes(out)
+
+    # -- decompression ------------------------------------------------------
+
+    def decompress(self, data: bytes) -> np.ndarray:
+        """Invert :meth:`compress`; returns the original uint8 matrix."""
+        n_rows, pos = decode_uvarint(data, 0)
+        n_cols, pos = decode_uvarint(data, pos)
+        bitmap_len = (n_cols + 7) // 8
+        bitmap_bytes = np.frombuffer(
+            data, dtype=np.uint8, count=bitmap_len, offset=pos
+        )
+        pos += bitmap_len
+        bitmap = np.unpackbits(bitmap_bytes)[:n_cols].astype(bool)
+        comp_cols = np.flatnonzero(bitmap)
+        raw_cols = np.flatnonzero(~bitmap)
+
+        comp_len, pos = decode_uvarint(data, pos)
+        compressed = data[pos : pos + comp_len]
+        if len(compressed) != comp_len:
+            raise CodecError("truncated ISOBAR compressed group")
+        pos += comp_len
+        raw_len, pos = decode_uvarint(data, pos)
+        raw_group = data[pos : pos + raw_len]
+        if len(raw_group) != raw_len:
+            raise CodecError("truncated ISOBAR raw group")
+
+        matrix = np.empty((n_rows, n_cols), dtype=np.uint8)
+        if comp_cols.size:
+            comp_bytes = self.codec.decompress(compressed)
+            if len(comp_bytes) != n_rows * comp_cols.size:
+                raise CodecError("ISOBAR compressed group size mismatch")
+            group = np.frombuffer(comp_bytes, dtype=np.uint8).reshape(
+                comp_cols.size, n_rows
+            )
+            matrix[:, comp_cols] = group.T
+        if raw_cols.size:
+            if raw_len != n_rows * raw_cols.size:
+                raise CodecError("ISOBAR raw group size mismatch")
+            group = np.frombuffer(raw_group, dtype=np.uint8).reshape(
+                raw_cols.size, n_rows
+            )
+            matrix[:, raw_cols] = group.T
+        return matrix
+
+    # -- model hooks ---------------------------------------------------------
+
+    def measured_alpha_sigma(self, matrix: np.ndarray) -> tuple[float, float]:
+        """Return (alpha2, sigma_lo) for the performance model.
+
+        alpha2 is the compressible fraction of the low-order bytes; sigma_lo
+        is the compressed-vs-original size of the *whole* low-order group
+        (compressible part compressed + incompressible part raw), matching
+        Table I's definitions.
+        """
+        matrix = np.asarray(matrix)
+        total = matrix.size
+        if total == 0:
+            return 0.0, 1.0
+        container = self.compress(matrix)
+        analysis = self.analyze(matrix)
+        return analysis.compressible_fraction, len(container) / total

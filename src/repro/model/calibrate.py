@@ -1,0 +1,89 @@
+"""Calibrate model inputs from measured compression runs.
+
+The paper feeds its model with parameters measured on the target system.
+Here the "target system" is whatever host runs this library, so the
+calibrator derives :class:`~repro.model.params.ModelInputs` from
+
+* :class:`repro.core.PrimacyStats` -- a PRIMACY compression run already
+  records alpha1/alpha2, sigma_ho/sigma_lo, metadata size, and the
+  preconditioner / compressor throughputs; or
+* :class:`repro.compressors.base.CodecMetrics` -- a vanilla codec
+  measurement (whole-chunk compression: alpha1 = 1, sigma_ho = measured
+  sigma, no second stage).
+
+Machine parameters (rho, network, disk) must come from the environment
+description -- in this reproduction, from
+:class:`repro.iosim.StagingEnvironment`.
+"""
+
+from __future__ import annotations
+
+from repro.compressors.base import CodecMetrics
+from repro.core.primacy import PrimacyStats
+from repro.model.params import ModelInputs
+
+__all__ = ["calibrate_from_stats", "calibrate_from_metrics"]
+
+
+def calibrate_from_stats(
+    stats: PrimacyStats,
+    *,
+    chunk_bytes: float,
+    rho: float,
+    network_bps: float,
+    disk_write_bps: float,
+    disk_read_bps: float | None = None,
+    decompressor_bps: float | None = None,
+    repreconditioner_bps: float | None = None,
+) -> ModelInputs:
+    """Model inputs from a measured PRIMACY run plus machine parameters."""
+    n_chunks = max(len(stats.chunks), 1)
+    return ModelInputs(
+        chunk_bytes=chunk_bytes,
+        rho=rho,
+        network_bps=network_bps,
+        disk_write_bps=disk_write_bps,
+        disk_read_bps=disk_read_bps,
+        preconditioner_bps=stats.preconditioner_mbps * 1e6,
+        compressor_bps=stats.compressor_mbps * 1e6,
+        decompressor_bps=decompressor_bps,
+        repreconditioner_bps=repreconditioner_bps,
+        alpha1=stats.alpha1,
+        alpha2=stats.alpha2,
+        sigma_ho=stats.sigma_ho,
+        sigma_lo=stats.sigma_lo,
+        metadata_bytes=stats.metadata_bytes / n_chunks,
+    )
+
+
+def calibrate_from_metrics(
+    metrics: CodecMetrics,
+    *,
+    chunk_bytes: float,
+    rho: float,
+    network_bps: float,
+    disk_write_bps: float,
+    disk_read_bps: float | None = None,
+) -> ModelInputs:
+    """Model inputs for *vanilla* whole-chunk compression (zlib/lzo case).
+
+    The whole chunk is one compressible piece: ``alpha1 = 1``,
+    ``sigma_ho`` = measured compressed fraction, and the preconditioner
+    stage is absent (modeled as infinitely fast).
+    """
+    return ModelInputs(
+        chunk_bytes=chunk_bytes,
+        rho=rho,
+        network_bps=network_bps,
+        disk_write_bps=disk_write_bps,
+        disk_read_bps=disk_read_bps,
+        preconditioner_bps=float("inf"),
+        compressor_bps=metrics.compression_mbps * 1e6,
+        decompressor_bps=metrics.decompression_mbps * 1e6,
+        repreconditioner_bps=float("inf"),
+        alpha1=1.0,
+        alpha2=0.0,
+        sigma_ho=metrics.sigma,
+        sigma_lo=1.0,
+        metadata_bytes=0.0,
+    )

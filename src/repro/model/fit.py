@@ -1,0 +1,144 @@
+"""Fit machine parameters from observed I/O runs.
+
+The paper's model needs (theta, mu, T_prec, T_comp) for the *target*
+system.  When those aren't documented, they can be recovered from a few
+observed bulk-synchronous steps: each stage's time is linear in the bytes
+it moves, so a least-squares line through the origin per stage yields the
+effective rates.  This module fits
+:class:`~repro.iosim.simulator.SimResult` observations (or any
+(bytes, seconds) samples) back into :class:`~repro.model.params.ModelInputs`
+-- closing the loop measure -> fit -> predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.iosim.simulator import SimResult
+from repro.model.params import ModelInputs
+
+__all__ = ["MachineFit", "fit_rate", "fit_machine", "fit_model_inputs"]
+
+
+def fit_rate(samples: Sequence[tuple[float, float]]) -> float:
+    """Least-squares bytes/second from (bytes, seconds) samples.
+
+    Fits ``seconds = bytes / rate`` through the origin; the minimizer of
+    ``sum (t_i - b_i/rate)^2`` is ``rate = sum(b^2) / sum(b*t)``.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    b = np.array([s[0] for s in samples], dtype=np.float64)
+    t = np.array([s[1] for s in samples], dtype=np.float64)
+    if np.any(b < 0) or np.any(t < 0):
+        raise ValueError("samples must be non-negative")
+    denom = float((b * t).sum())
+    if denom == 0:
+        return float("inf")
+    return float((b * b).sum()) / denom
+
+
+@dataclass(frozen=True)
+class MachineFit:
+    """Recovered machine rates (bytes/second) and fit quality."""
+
+    network_bps: float
+    disk_bps: float
+    compute_bps: float
+    n_samples: int
+    residual: float  # rms relative error of total-time reconstruction
+
+    def as_model_inputs(
+        self,
+        *,
+        chunk_bytes: float,
+        rho: float,
+        alpha1: float = 1.0,
+        alpha2: float = 0.0,
+        sigma_ho: float = 1.0,
+        sigma_lo: float = 1.0,
+        metadata_bytes: float = 0.0,
+    ) -> ModelInputs:
+        """Convert the fitted rates into :class:`ModelInputs`."""
+        return ModelInputs(
+            chunk_bytes=chunk_bytes,
+            rho=rho,
+            network_bps=self.network_bps,
+            disk_write_bps=self.disk_bps,
+            preconditioner_bps=float("inf"),
+            compressor_bps=self.compute_bps,
+            alpha1=alpha1,
+            alpha2=alpha2,
+            sigma_ho=sigma_ho,
+            sigma_lo=sigma_lo,
+            metadata_bytes=metadata_bytes,
+        )
+
+
+def fit_machine(results: Iterable[SimResult]) -> MachineFit:
+    """Recover (theta, mu, compute rate) from observed step results.
+
+    Inverts the model's stage formulas: for a write,
+    ``t_transfer = (1 + rho) * (P / rho) / theta`` and
+    ``t_disk = P / mu`` where ``P`` is the step's payload bytes.
+    Compute rate is fitted against *original* bytes (compression
+    throughput is reported relative to input size, Eqn 2).
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("need at least one observed step")
+    net_samples = []
+    disk_samples = []
+    comp_samples = []
+    for r in results:
+        eff_net_bytes = (1 + r.rho) * (r.payload_bytes / r.rho)
+        net_samples.append((eff_net_bytes, r.t_transfer))
+        disk_samples.append((r.payload_bytes, r.t_disk))
+        if r.t_compute > 0:
+            comp_samples.append((r.original_bytes, r.t_compute))
+
+    fit = MachineFit(
+        network_bps=fit_rate(net_samples),
+        disk_bps=fit_rate(disk_samples),
+        compute_bps=fit_rate(comp_samples) if comp_samples else float("inf"),
+        n_samples=len(results),
+        residual=0.0,
+    )
+    # Reconstruction residual: how well the fitted rates explain totals.
+    rel_errors = []
+    for r in results:
+        predicted = (
+            (1 + r.rho) * (r.payload_bytes / r.rho) / fit.network_bps
+            + r.payload_bytes / fit.disk_bps
+            + (
+                r.original_bytes / fit.compute_bps
+                if fit.compute_bps != float("inf")
+                else 0.0
+            )
+        )
+        if r.t_total > 0:
+            rel_errors.append((predicted - r.t_total) / r.t_total)
+    residual = float(np.sqrt(np.mean(np.square(rel_errors)))) if rel_errors else 0.0
+    return MachineFit(
+        network_bps=fit.network_bps,
+        disk_bps=fit.disk_bps,
+        compute_bps=fit.compute_bps,
+        n_samples=fit.n_samples,
+        residual=residual,
+    )
+
+
+def fit_model_inputs(
+    results: Iterable[SimResult],
+    *,
+    chunk_bytes: float,
+    rho: float,
+    **model_overrides,
+) -> ModelInputs:
+    """One-call convenience: observe -> fit -> model inputs."""
+    return fit_machine(results).as_model_inputs(
+        chunk_bytes=chunk_bytes, rho=rho, **model_overrides
+    )

@@ -1,0 +1,159 @@
+"""Model parameter tables (paper Tables I and II).
+
+All throughputs are in bytes/second and sizes in bytes; converting the
+paper's MB/s axes is the caller's concern.  :math:`\\sigma` follows
+Table I's convention -- *compressed vs original*, i.e. the inverse of the
+compression ratio CR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ModelInputs", "ModelOutputs"]
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Inputs of the performance model (paper Table I).
+
+    Attributes
+    ----------
+    chunk_bytes:
+        C -- chunk size handled by each compute node per step.
+    metadata_bytes:
+        delta -- preconditioner metadata per chunk (the ID index).
+    alpha1:
+        Fraction of the chunk that is compressible: for PRIMACY the
+        high-order (ID-mapped) byte fraction.
+    alpha2:
+        Fraction of the remaining low-order part that ISOBAR classifies
+        compressible.
+    sigma_ho:
+        Compressed/original size ratio on the high-order bytes.
+    sigma_lo:
+        Compressed/original size ratio on the compressible low-order bytes.
+    rho:
+        Compute-to-I/O-node ratio (paper experiments: 8).
+    network_bps:
+        theta -- collective network throughput measured at the I/O node.
+    disk_write_bps:
+        mu_w -- disk write throughput at the I/O node.
+    disk_read_bps:
+        Disk read throughput (for the read model; the paper's read
+        scenario "follows the inverse order of operations").
+    preconditioner_bps:
+        T_prec -- average preconditioner throughput at a compute node.
+    compressor_bps:
+        T_comp -- backend compressor throughput at a compute node.
+    decompressor_bps:
+        Backend decompressor throughput (read model).
+    repreconditioner_bps:
+        Throughput of undoing the preconditioning on reads (ID unmapping +
+        matrix reassembly).
+    """
+
+    chunk_bytes: float
+    rho: float
+    network_bps: float
+    disk_write_bps: float
+    preconditioner_bps: float
+    compressor_bps: float
+    alpha1: float = 0.25
+    alpha2: float = 0.0
+    sigma_ho: float = 1.0
+    sigma_lo: float = 1.0
+    metadata_bytes: float = 0.0
+    disk_read_bps: float | None = None
+    decompressor_bps: float | None = None
+    repreconditioner_bps: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("chunk_bytes", "rho", "network_bps", "disk_write_bps",
+                     "preconditioner_bps", "compressor_bps"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("alpha1", "alpha2"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for name in ("sigma_ho", "sigma_lo"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def read_disk_bps(self) -> float:
+        """Disk read rate (defaults to the write rate)."""
+        return self.disk_read_bps if self.disk_read_bps is not None else self.disk_write_bps
+
+    @property
+    def read_decompressor_bps(self) -> float:
+        """Decompressor rate (defaults to the compressor rate)."""
+        return (
+            self.decompressor_bps
+            if self.decompressor_bps is not None
+            else self.compressor_bps
+        )
+
+    @property
+    def read_repreconditioner_bps(self) -> float:
+        """Un-preconditioning rate (defaults to T_prec)."""
+        return (
+            self.repreconditioner_bps
+            if self.repreconditioner_bps is not None
+            else self.preconditioner_bps
+        )
+
+    @property
+    def compressed_fraction(self) -> float:
+        """Total compressed size as a fraction of original (incl. raw part).
+
+        ``alpha1 * sigma_ho + alpha2 * (1 - alpha1) * sigma_lo
+        + (1 - alpha2) * (1 - alpha1)`` plus the metadata share.
+        """
+        a1, a2 = self.alpha1, self.alpha2
+        frac = (
+            a1 * self.sigma_ho
+            + a2 * (1.0 - a1) * self.sigma_lo
+            + (1.0 - a2) * (1.0 - a1)
+        )
+        return frac + self.metadata_bytes / self.chunk_bytes
+
+
+@dataclass(frozen=True)
+class ModelOutputs:
+    """Outputs of the performance model (paper Table II).
+
+    Times are per bulk-synchronous step, in seconds; ``throughput_bps`` is
+    the end-to-end aggregate throughput :math:`\\tau = \\rho C / t_{total}`
+    (Eqn 3).
+    """
+
+    t_precondition1: float = 0.0
+    t_precondition2: float = 0.0
+    t_compress1: float = 0.0
+    t_compress2: float = 0.0
+    t_transfer: float = 0.0
+    t_write: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def t_total(self) -> float:
+        """Total step time: the sum of all stage times."""
+        return (
+            self.t_precondition1
+            + self.t_precondition2
+            + self.t_compress1
+            + self.t_compress2
+            + self.t_transfer
+            + self.t_write
+        )
+
+    def throughput_bps(self, inputs: "ModelInputs") -> float:
+        """Eqn 3: tau = rho * C / t_total."""
+        if self.t_total == 0:
+            return float("inf")
+        return inputs.rho * inputs.chunk_bytes / self.t_total
+
+    def throughput_mbps(self, inputs: "ModelInputs") -> float:
+        """End-to-end throughput in MB/s."""
+        return self.throughput_bps(inputs) / 1e6

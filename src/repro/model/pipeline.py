@@ -1,0 +1,126 @@
+"""Write and read performance models (paper Eqns 3-13).
+
+Two write scenarios are modeled, exactly following Section III:
+
+* **Base case** (Sec III-B): compute nodes send raw chunks to the I/O
+  node, which writes them to disk.  Network time scales with
+  ``(1 + rho)`` to account for contention at the I/O node (Eqn 4), and
+  disk time with ``rho`` chunks (Eqn 5).
+
+* **PRIMACY at compute nodes** (Sec III-C): each compute node runs the
+  preconditioner on its chunk (Eqn 7), ISOBAR on the low-order part
+  (Eqn 8), compresses the two compressible pieces (Eqns 9-10), and ships
+  compressed + raw-remainder bytes through the network (Eqn 11) to disk
+  (Eqn 12).  Preconditioning and compression happen *in parallel* across
+  compute nodes, so those terms are charged once per chunk, while
+  transfer/write serialize at the I/O node.
+
+Note on Eqns 11-12: the paper's printed equations multiply the
+*incompressible* remainder ``(1-alpha2)(1-alpha1)`` by ``sigma_lo`` as
+well.  Stored-raw bytes are not shrunk by a compressor, so we treat that
+as a typo and charge the raw remainder at full size; pass
+``faithful_eq11=True`` to evaluate the equations exactly as printed.  The
+difference is small whenever ``sigma_lo`` is close to 1 (hard-to-compress
+mantissas), which is the paper's regime.
+
+The read model mirrors the writes in reverse order (Sec III-C: "the read
+scenarios essentially follow the inverse order of operations"): disk read,
+transfer, decompression, and un-preconditioning.
+"""
+
+from __future__ import annotations
+
+from repro.model.params import ModelInputs, ModelOutputs
+
+__all__ = [
+    "predict_base_write",
+    "predict_base_read",
+    "predict_compressed_write",
+    "predict_compressed_read",
+]
+
+
+def predict_base_write(inputs: ModelInputs) -> ModelOutputs:
+    """Base case, no compression (Eqns 4-6)."""
+    c = inputs.chunk_bytes
+    t_transfer = (1.0 + inputs.rho) * c / inputs.network_bps
+    t_write = inputs.rho * c / inputs.disk_write_bps
+    return ModelOutputs(t_transfer=t_transfer, t_write=t_write)
+
+
+def predict_base_read(inputs: ModelInputs) -> ModelOutputs:
+    """Base case read: disk read then transfer (inverse of Eqns 4-6)."""
+    c = inputs.chunk_bytes
+    t_read = inputs.rho * c / inputs.read_disk_bps
+    t_transfer = (1.0 + inputs.rho) * c / inputs.network_bps
+    return ModelOutputs(t_transfer=t_transfer, t_write=t_read)
+
+
+def _compressed_sizes(inputs: ModelInputs, faithful_eq11: bool) -> float:
+    """Bytes leaving a compute node per chunk, as a fraction of C."""
+    a1, a2 = inputs.alpha1, inputs.alpha2
+    compressed_part = a1 * inputs.sigma_ho + a2 * (1.0 - a1) * inputs.sigma_lo
+    raw_part = (1.0 - a2) * (1.0 - a1)
+    if faithful_eq11:
+        raw_part *= inputs.sigma_lo
+    return compressed_part + raw_part + inputs.metadata_bytes / inputs.chunk_bytes
+
+
+def predict_compressed_write(
+    inputs: ModelInputs, faithful_eq11: bool = False
+) -> ModelOutputs:
+    """PRIMACY at the compute nodes (Eqns 7-13)."""
+    c = inputs.chunk_bytes
+    a1, a2 = inputs.alpha1, inputs.alpha2
+
+    t_prec1 = c / inputs.preconditioner_bps  # Eqn 7
+    t_prec2 = (1.0 - a1) * c / inputs.preconditioner_bps  # Eqn 8
+    t_comp1 = a1 * c / inputs.compressor_bps  # Eqn 9
+    t_comp2 = a2 * (1.0 - a1) * c / inputs.compressor_bps  # Eqn 10
+
+    out_fraction = _compressed_sizes(inputs, faithful_eq11)
+    t_transfer = (1.0 + inputs.rho) * c * out_fraction / inputs.network_bps  # Eqn 11
+    t_write = inputs.rho * c * out_fraction / inputs.disk_write_bps  # Eqn 12
+
+    return ModelOutputs(
+        t_precondition1=t_prec1,
+        t_precondition2=t_prec2,
+        t_compress1=t_comp1,
+        t_compress2=t_comp2,
+        t_transfer=t_transfer,
+        t_write=t_write,
+        extras={"out_fraction": out_fraction},
+    )
+
+
+def predict_compressed_read(
+    inputs: ModelInputs, faithful_eq11: bool = False
+) -> ModelOutputs:
+    """PRIMACY read: disk read, transfer, decompress, un-precondition.
+
+    Mirrors :func:`predict_compressed_write` with the inverse operations:
+    compressed bytes come off disk and over the network, the backend
+    decompressor expands the two compressed pieces, and the
+    re-preconditioner (ID unmapping + matrix reassembly) restores the
+    original layout.
+    """
+    c = inputs.chunk_bytes
+    a1, a2 = inputs.alpha1, inputs.alpha2
+
+    out_fraction = _compressed_sizes(inputs, faithful_eq11)
+    t_read = inputs.rho * c * out_fraction / inputs.read_disk_bps
+    t_transfer = (1.0 + inputs.rho) * c * out_fraction / inputs.network_bps
+    t_decomp1 = a1 * c / inputs.read_decompressor_bps
+    t_decomp2 = a2 * (1.0 - a1) * c / inputs.read_decompressor_bps
+    t_unprec1 = c / inputs.read_repreconditioner_bps
+    t_unprec2 = (1.0 - a1) * c / inputs.read_repreconditioner_bps
+
+    return ModelOutputs(
+        t_precondition1=t_unprec1,
+        t_precondition2=t_unprec2,
+        t_compress1=t_decomp1,
+        t_compress2=t_decomp2,
+        t_transfer=t_transfer,
+        t_write=t_read,
+        extras={"out_fraction": out_fraction},
+    )

@@ -1,0 +1,15 @@
+"""Parallel in-situ compression.
+
+The paper's end-to-end gains rest on compression running *in parallel*
+across compute nodes while the I/O path serializes.  On a single host the
+same structure applies across cores: chunks are independent under the
+PER_CHUNK index policy, so they can be compressed by a process pool and
+reassembled into a byte-identical container.
+
+* :class:`~repro.parallel.pool.ParallelCompressor` -- drop-in parallel
+  version of :meth:`repro.core.PrimacyCompressor.compress`.
+"""
+
+from repro.parallel.pool import ParallelCompressor
+
+__all__ = ["ParallelCompressor"]

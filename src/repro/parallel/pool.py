@@ -1,0 +1,118 @@
+"""Process-pool chunk compression.
+
+Chunk records are independent under
+:attr:`repro.core.idmap.IndexReusePolicy.PER_CHUNK` (each chunk carries
+its own inline index), so the compressor can fan chunks out to worker
+processes and concatenate the records in order.  The output is
+**byte-identical** to the serial :class:`repro.core.PrimacyCompressor`
+container -- decompression needs no parallel-specific code.
+
+Workers each build a :class:`PrimacyCompressor` once (pool initializer)
+and then receive raw chunk bytes; only bytes cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.chunking import Chunker
+from repro.core.idmap import IndexReusePolicy
+from repro.core.linearize import Linearization
+from repro.core.primacy import (
+    PrimacyChunkStats,
+    PrimacyCompressor,
+    PrimacyConfig,
+    PrimacyStats,
+    _FLAG_CHECKSUM,
+    _MAGIC,
+    _VERSION,
+)
+from repro.util.varint import encode_uvarint
+
+__all__ = ["ParallelCompressor"]
+
+_worker_compressor: PrimacyCompressor | None = None
+
+
+def _init_worker(config: PrimacyConfig) -> None:
+    global _worker_compressor
+    _worker_compressor = PrimacyCompressor(config)
+
+
+def _compress_chunk(chunk: bytes) -> tuple[bytes, PrimacyChunkStats]:
+    assert _worker_compressor is not None, "worker not initialized"
+    record, stats, _ = _worker_compressor.compress_chunk(chunk)
+    return record, stats
+
+
+class ParallelCompressor:
+    """Compress with a pool of worker processes.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; must use ``IndexReusePolicy.PER_CHUNK``
+        (reuse chains serialize chunks by construction).
+    workers:
+        Pool size; defaults to the CPU count.
+    """
+
+    def __init__(
+        self, config: PrimacyConfig | None = None, workers: int | None = None
+    ) -> None:
+        self.config = config or PrimacyConfig()
+        if self.config.index_policy is not IndexReusePolicy.PER_CHUNK:
+            raise ValueError(
+                "parallel compression requires the PER_CHUNK index policy; "
+                "reuse chains make chunks order-dependent"
+            )
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._chunker = Chunker(self.config.chunk_bytes, self.config.word_bytes)
+
+    def compress(self, data: bytes) -> tuple[bytes, PrimacyStats]:
+        """Parallel equivalent of :meth:`PrimacyCompressor.compress`."""
+        data = bytes(data)
+        cfg = self.config
+        stats = PrimacyStats(original_bytes=len(data))
+        chunks, tail = self._chunker.split(data)
+
+        out = bytearray()
+        out += _MAGIC
+        out.append(_VERSION)
+        out.append(_FLAG_CHECKSUM if cfg.checksum else 0)
+        codec_name = cfg.codec.encode("ascii")
+        out += encode_uvarint(len(codec_name))
+        out += codec_name
+        out += encode_uvarint(cfg.word_bytes)
+        out += encode_uvarint(cfg.high_bytes)
+        out.append(0 if cfg.linearization is Linearization.COLUMN else 1)
+        out += encode_uvarint(len(data))
+        out += encode_uvarint(len(tail))
+        out += tail
+        out += encode_uvarint(len(chunks))
+
+        if len(chunks) <= 1 or self.workers == 1:
+            # Pool overhead is not worth it; run inline.
+            compressor = PrimacyCompressor(cfg)
+            results = [
+                compressor.compress_chunk(c.data)[:2] for c in chunks
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                initializer=_init_worker,
+                initargs=(cfg,),
+            ) as pool:
+                results = list(
+                    pool.map(_compress_chunk, (c.data for c in chunks))
+                )
+
+        for record, chunk_stats in results:
+            out += encode_uvarint(len(record))
+            out += record
+            stats.add(chunk_stats)
+        stats.container_bytes = len(out)
+        return bytes(out), stats

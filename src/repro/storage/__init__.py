@@ -1,0 +1,37 @@
+"""Seekable on-disk format for PRIMACY-compressed data.
+
+The in-memory container (:class:`repro.core.PrimacyCompressor`) is a
+sequential blob: fine for network transfer, wrong for post-hoc analysis,
+where a user wants *one variable slice out of a terabyte checkpoint*.
+This package adds the storage layer a downstream user needs:
+
+* :class:`~repro.storage.writer.PrimacyFileWriter` -- streaming writer:
+  feed it value bytes incrementally (as a simulation produces them), it
+  cuts chunks, compresses in-situ, and appends self-contained records;
+  the chunk table goes into a footer on close.
+* :class:`~repro.storage.reader.PrimacyFileReader` -- random access:
+  ``read_values(start, count)`` decompresses only the chunks covering the
+  request (resolving index-reuse chains from record headers without
+  decompressing intermediate payloads).
+
+Format (PRIF, little-endian)::
+
+    header:  magic "PRIF" | version | config (codec, word/high bytes,
+             linearization, checksum flag)
+    body:    chunk records, back to back (byte-identical to the
+             in-memory container's records)
+    footer:  chunk table (offset, length, n_values, inline-index flag,
+             index-base chunk) | tail bytes | total length
+    trailer: uvarint-free fixed 12 bytes: footer length (u64) + "PRIE"
+"""
+
+from repro.storage.format import FileInfo, ChunkEntry
+from repro.storage.reader import PrimacyFileReader
+from repro.storage.writer import PrimacyFileWriter
+
+__all__ = [
+    "PrimacyFileWriter",
+    "PrimacyFileReader",
+    "FileInfo",
+    "ChunkEntry",
+]

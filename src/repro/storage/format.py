@@ -1,0 +1,162 @@
+"""PRIF file format primitives shared by the writer and reader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compressors.base import CodecError
+from repro.core.idmap import IndexReusePolicy
+from repro.core.linearize import Linearization
+from repro.core.primacy import PrimacyConfig
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = [
+    "MAGIC",
+    "END_MAGIC",
+    "VERSION",
+    "ChunkEntry",
+    "FileInfo",
+    "encode_header",
+    "decode_header",
+    "encode_footer",
+    "decode_footer",
+]
+
+MAGIC = b"PRIF"
+END_MAGIC = b"PRIE"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """One row of the footer's chunk table."""
+
+    offset: int  # absolute byte offset of the record in the file
+    length: int  # record length in bytes
+    n_values: int  # values held by this chunk
+    inline_index: bool  # record carries a full index (reuse chain root)
+    index_base: int  # chunk id whose inline index this chunk's map builds on
+
+
+@dataclass(frozen=True)
+class FileInfo:
+    """Decoded header + footer metadata."""
+
+    config: PrimacyConfig
+    chunks: tuple[ChunkEntry, ...] = field(default=())
+    tail: bytes = b""
+    total_bytes: int = 0
+
+    @property
+    def n_values(self) -> int:
+        """Number of values covered."""
+        return sum(c.n_values for c in self.chunks)
+
+
+def encode_header(config: PrimacyConfig) -> bytes:
+    """Serialize the PRIF header for ``config``."""
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out.append(
+        (1 if config.checksum else 0)
+        | (2 if config.linearization is Linearization.ROW else 0)
+    )
+    name = config.codec.encode("ascii")
+    out += encode_uvarint(len(name))
+    out += name
+    out += encode_uvarint(config.word_bytes)
+    out += encode_uvarint(config.high_bytes)
+    out += encode_uvarint(config.chunk_bytes)
+    policy = config.index_policy.value.encode("ascii")
+    out += encode_uvarint(len(policy))
+    out += policy
+    return bytes(out)
+
+
+def decode_header(data: bytes) -> tuple[PrimacyConfig, int]:
+    """Parse a PRIF header; returns ``(config, next_offset)``."""
+    if data[:4] != MAGIC:
+        raise CodecError("not a PRIF file")
+    if data[4] != VERSION:
+        raise CodecError(f"unsupported PRIF version {data[4]}")
+    flags = data[5]
+    pos = 6
+    name_len, pos = decode_uvarint(data, pos)
+    codec = data[pos : pos + name_len].decode("ascii")
+    pos += name_len
+    word_bytes, pos = decode_uvarint(data, pos)
+    high_bytes, pos = decode_uvarint(data, pos)
+    chunk_bytes, pos = decode_uvarint(data, pos)
+    policy_len, pos = decode_uvarint(data, pos)
+    policy = data[pos : pos + policy_len].decode("ascii")
+    pos += policy_len
+    try:
+        policy_value = IndexReusePolicy(policy)
+    except ValueError as exc:
+        raise CodecError(f"unknown index policy {policy!r}") from exc
+    config = PrimacyConfig(
+        codec=codec,
+        chunk_bytes=chunk_bytes,
+        word_bytes=word_bytes,
+        high_bytes=high_bytes,
+        linearization=(
+            Linearization.ROW if flags & 2 else Linearization.COLUMN
+        ),
+        index_policy=policy_value,
+        checksum=bool(flags & 1),
+    )
+    return config, pos
+
+
+def encode_footer(chunks: list[ChunkEntry], tail: bytes, total_bytes: int) -> bytes:
+    """Serialize the PRIF footer (chunk table + tail + trailer)."""
+    out = bytearray()
+    out += encode_uvarint(len(chunks))
+    prev_offset = 0
+    for c in chunks:
+        out += encode_uvarint(c.offset - prev_offset)
+        prev_offset = c.offset
+        out += encode_uvarint(c.length)
+        out += encode_uvarint(c.n_values)
+        out.append(1 if c.inline_index else 0)
+        out += encode_uvarint(c.index_base)
+    out += encode_uvarint(len(tail))
+    out += tail
+    out += encode_uvarint(total_bytes)
+    # Fixed-size trailer so the reader can find the footer from EOF.
+    out += len(out).to_bytes(8, "little")
+    out += END_MAGIC
+    return bytes(out)
+
+
+def decode_footer(footer: bytes) -> tuple[list[ChunkEntry], bytes, int]:
+    """Parse a PRIF footer; returns ``(chunks, tail, total_bytes)``."""
+    pos = 0
+    n_chunks, pos = decode_uvarint(footer, pos)
+    chunks: list[ChunkEntry] = []
+    offset = 0
+    for _ in range(n_chunks):
+        delta, pos = decode_uvarint(footer, pos)
+        offset += delta
+        length, pos = decode_uvarint(footer, pos)
+        n_values, pos = decode_uvarint(footer, pos)
+        inline = bool(footer[pos])
+        pos += 1
+        index_base, pos = decode_uvarint(footer, pos)
+        chunks.append(
+            ChunkEntry(
+                offset=offset,
+                length=length,
+                n_values=n_values,
+                inline_index=inline,
+                index_base=index_base,
+            )
+        )
+    tail_len, pos = decode_uvarint(footer, pos)
+    tail = footer[pos : pos + tail_len]
+    if len(tail) != tail_len:
+        raise CodecError("truncated PRIF footer tail")
+    pos += tail_len
+    total_bytes, pos = decode_uvarint(footer, pos)
+    return chunks, tail, total_bytes

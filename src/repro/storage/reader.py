@@ -1,0 +1,194 @@
+"""Random-access PRIF reader.
+
+``read_values(start, count)`` touches only the chunks covering the
+requested value range.  Index-reuse chains are resolved from record
+*headers*: when the target chunk inherited its ID index, the reader walks
+from the chunk's ``index_base`` (recorded in the footer) forward, parsing
+just the index sections of the intermediate records -- no payload
+decompression -- to rebuild the index in effect.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from bisect import bisect_right
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors.base import CodecError
+from repro.core.idmap import FrequencyIndex
+from repro.core.primacy import (
+    PrimacyCompressor,
+    chunk_record_index_section,
+)
+from repro.storage.format import (
+    END_MAGIC,
+    ChunkEntry,
+    FileInfo,
+    decode_footer,
+    decode_header,
+)
+
+__all__ = ["PrimacyFileReader"]
+
+_TRAILER_BYTES = 12
+
+
+class PrimacyFileReader:
+    """Read (ranges of) values from a PRIF file."""
+
+    def __init__(
+        self, source: str | os.PathLike | io.RawIOBase | io.BufferedIOBase
+    ) -> None:
+        if isinstance(source, (str, os.PathLike)):
+            self._fh = open(Path(source), "rb")
+            self._owns_fh = True
+        else:
+            self._fh = source
+            self._owns_fh = False
+        self._load_metadata()
+        self._compressor = PrimacyCompressor(self.info.config)
+        # Cumulative value counts for chunk lookup by value position.
+        counts = [c.n_values for c in self.info.chunks]
+        self._cum_values = np.concatenate(
+            [[0], np.cumsum(counts, dtype=np.int64)]
+        )
+        self._index_cache: dict[int, FrequencyIndex] = {}
+
+    # ------------------------------------------------------------------
+
+    def _load_metadata(self) -> None:
+        fh = self._fh
+        fh.seek(0, io.SEEK_END)
+        size = fh.tell()
+        if size < _TRAILER_BYTES + 4:
+            raise CodecError("file too small to be PRIF")
+        fh.seek(size - _TRAILER_BYTES)
+        trailer = fh.read(_TRAILER_BYTES)
+        if trailer[8:] != END_MAGIC:
+            raise CodecError("missing PRIF end marker")
+        footer_len = int.from_bytes(trailer[:8], "little")
+        footer_start = size - _TRAILER_BYTES - footer_len
+        if footer_start < 0:
+            raise CodecError("corrupt PRIF footer length")
+        fh.seek(footer_start)
+        footer = fh.read(footer_len)
+        chunks, tail, total_bytes = decode_footer(footer)
+        fh.seek(0)
+        header = fh.read(min(footer_start, 4096))
+        config, _ = decode_header(header)
+        self.info = FileInfo(
+            config=config,
+            chunks=tuple(chunks),
+            tail=tail,
+            total_bytes=total_bytes,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_values(self) -> int:
+        """Number of values covered."""
+        return int(self._cum_values[-1])
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks."""
+        return len(self.info.chunks)
+
+    def read_all(self) -> bytes:
+        """Decompress the whole file."""
+        parts = [self._read_chunk(i) for i in range(self.n_chunks)]
+        out = b"".join(parts) + self.info.tail
+        if len(out) != self.info.total_bytes:
+            raise CodecError("PRIF length mismatch")
+        return out
+
+    def read_values(self, start: int, count: int) -> bytes:
+        """Decompress values ``[start, start + count)`` only.
+
+        Returns exactly ``count * word_bytes`` bytes.
+        """
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be non-negative")
+        if start + count > self.n_values:
+            raise ValueError("value range beyond end of file")
+        if count == 0:
+            return b""
+        word = self.info.config.word_bytes
+        first = bisect_right(self._cum_values.tolist(), start) - 1
+        last = bisect_right(self._cum_values.tolist(), start + count - 1) - 1
+        parts = [self._read_chunk(i) for i in range(first, last + 1)]
+        blob = b"".join(parts)
+        offset = (start - int(self._cum_values[first])) * word
+        return blob[offset : offset + count * word]
+
+    # ------------------------------------------------------------------
+
+    def _record(self, chunk_id: int) -> bytes:
+        entry = self.info.chunks[chunk_id]
+        self._fh.seek(entry.offset)
+        record = self._fh.read(entry.length)
+        if len(record) != entry.length:
+            raise CodecError("truncated chunk record")
+        return record
+
+    def _index_for(self, chunk_id: int) -> FrequencyIndex | None:
+        """Index in effect *before* decoding chunk ``chunk_id``.
+
+        Only meaningful for chunks that reuse an index; resolved by
+        walking the reuse chain from the base chunk, applying extensions.
+        """
+        entry = self.info.chunks[chunk_id]
+        if entry.inline_index:
+            return None  # record is self-contained
+        high_bytes = self.info.config.high_bytes
+        # Walk backwards to the nearest cached or inline chunk.
+        base = entry.index_base
+        index = self._index_cache.get(base)
+        if index is None:
+            inline, index, _ = chunk_record_index_section(
+                self._record(base), high_bytes
+            )
+            if not inline:
+                raise CodecError("PRIF index chain has no inline root")
+            self._index_cache[base] = index
+        for mid in range(base + 1, chunk_id):
+            cached = self._index_cache.get(mid)
+            if cached is not None:
+                index = cached
+                continue
+            inline, section, _ = chunk_record_index_section(
+                self._record(mid), high_bytes
+            )
+            if inline:
+                raise CodecError("PRIF reuse chain crosses an inline index")
+            index = index.extended(section)
+            self._index_cache[mid] = index
+        return index
+
+    def _read_chunk(self, chunk_id: int) -> bytes:
+        record = self._record(chunk_id)
+        current = self._index_for(chunk_id)
+        chunk, index_after = self._compressor.decompress_chunk(record, current)
+        self._index_cache[chunk_id] = index_after
+        return chunk
+
+    # ------------------------------------------------------------------
+
+    def chunk_entries(self) -> tuple[ChunkEntry, ...]:
+        """The footer's chunk table."""
+        return self.info.chunks
+
+    def close(self) -> None:
+        """Flush/close the underlying file if owned."""
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "PrimacyFileReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,131 @@
+"""Streaming PRIF writer.
+
+Designed for the in-situ pattern the paper targets: the simulation calls
+:meth:`PrimacyFileWriter.write` with whatever it has produced (any byte
+granularity); the writer cuts word-aligned chunks of the configured size,
+compresses each immediately (bounded memory), and appends the record.
+:meth:`close` flushes the partial last chunk and writes the footer.
+
+Usable as a context manager; statistics (:class:`repro.core.PrimacyStats`)
+accumulate across the stream for model calibration.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+from repro.core.primacy import (
+    PrimacyCompressor,
+    PrimacyConfig,
+    PrimacyStats,
+)
+from repro.storage.format import ChunkEntry, encode_footer, encode_header
+from repro.util.varint import encode_uvarint
+
+__all__ = ["PrimacyFileWriter"]
+
+
+class PrimacyFileWriter:
+    """Write PRIMACY-compressed values to a seekable file.
+
+    Parameters
+    ----------
+    target:
+        Path or writable binary file object.
+    config:
+        Pipeline configuration; stored in the header so any reader can
+        reconstruct the pipeline.
+    """
+
+    def __init__(
+        self,
+        target: str | os.PathLike | io.RawIOBase | io.BufferedIOBase,
+        config: PrimacyConfig | None = None,
+    ) -> None:
+        self.config = config or PrimacyConfig()
+        if isinstance(target, (str, os.PathLike)):
+            self._fh = open(Path(target), "wb")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self._compressor = PrimacyCompressor(self.config)
+        self._buffer = bytearray()
+        self._chunks: list[ChunkEntry] = []
+        self._state = None
+        self._last_inline = -1
+        self._total_bytes = 0
+        self._closed = False
+        self.stats = PrimacyStats()
+
+        header = encode_header(self.config)
+        self._fh.write(header)
+        self._pos = len(header)
+
+    # ------------------------------------------------------------------
+
+    def write(self, data: bytes) -> None:
+        """Append raw value bytes; chunks are cut and compressed eagerly."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        self._buffer += data
+        self._total_bytes += len(data)
+        chunk_bytes = self._compressor._chunker.chunk_bytes
+        while len(self._buffer) >= chunk_bytes:
+            self._emit_chunk(bytes(self._buffer[:chunk_bytes]))
+            del self._buffer[:chunk_bytes]
+
+    def close(self) -> None:
+        """Flush the final partial chunk, write the footer, close the file."""
+        if self._closed:
+            return
+        word = self.config.word_bytes
+        usable = len(self._buffer) - (len(self._buffer) % word)
+        tail = bytes(self._buffer[usable:])
+        if usable:
+            self._emit_chunk(bytes(self._buffer[:usable]))
+        self._fh.write(encode_footer(self._chunks, tail, self._total_bytes))
+        self.stats.container_bytes = self._pos
+        self.stats.original_bytes = self._total_bytes
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+
+    def _emit_chunk(self, chunk: bytes) -> None:
+        record, chunk_stats, self._state = self._compressor.compress_chunk(
+            chunk, self._state
+        )
+        self.stats.add(chunk_stats)
+        chunk_id = len(self._chunks)
+        if not chunk_stats.index_reused:
+            self._last_inline = chunk_id
+        prefix = encode_uvarint(len(record))
+        self._fh.write(prefix)
+        self._fh.write(record)
+        self._chunks.append(
+            ChunkEntry(
+                offset=self._pos + len(prefix),
+                length=len(record),
+                n_values=chunk_stats.n_values,
+                inline_index=not chunk_stats.index_reused,
+                index_base=self._last_inline,
+            )
+        )
+        self._pos += len(prefix) + len(record)
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "PrimacyFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks."""
+        return len(self._chunks)

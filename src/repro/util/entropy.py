@@ -1,0 +1,108 @@
+"""Entropy and repeatability metrics.
+
+The paper's central observation is that standard compressors are *byte-level*
+entropy coders, so what matters for compressibility is the zeroth-order byte
+distribution (plus run structure).  These helpers quantify that:
+
+* :func:`byte_entropy` -- Shannon entropy of the byte histogram, bits/byte.
+* :func:`top_byte_fraction` -- fraction of positions holding the single most
+  frequent byte value (the "repeatability" the ID mapper tries to raise; the
+  paper reports a ~15 % average gain, Sec II-C).
+* :func:`bit_position_probability` -- probability of the dominant bit value
+  at each bit position (Figure 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "byte_histogram",
+    "byte_entropy",
+    "normalized_entropy",
+    "top_byte_fraction",
+    "bit_position_probability",
+]
+
+
+def byte_histogram(data: bytes | np.ndarray) -> np.ndarray:
+    """Return the 256-bin histogram of byte values."""
+    buf = _as_u8(data)
+    return np.bincount(buf, minlength=256)
+
+
+def byte_entropy(data: bytes | np.ndarray) -> float:
+    """Zeroth-order Shannon entropy of the byte stream, in bits per byte."""
+    hist = byte_histogram(data).astype(np.float64)
+    total = hist.sum()
+    if total == 0:
+        return 0.0
+    p = hist[hist > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def normalized_entropy(data: bytes | np.ndarray) -> float:
+    """Byte entropy scaled to ``[0, 1]`` (1 = uniformly random bytes)."""
+    return byte_entropy(data) / 8.0
+
+
+def top_byte_fraction(data: bytes | np.ndarray) -> float:
+    """Fraction of positions holding the single most frequent byte value."""
+    hist = byte_histogram(data)
+    total = hist.sum()
+    if total == 0:
+        return 0.0
+    return float(hist.max()) / float(total)
+
+
+def bit_position_probability(
+    values: np.ndarray, word_bytes: int | None = None
+) -> np.ndarray:
+    """Probability of the dominant bit value at every bit position.
+
+    Reproduces the quantity plotted in Figure 1 of the paper: for each bit
+    position within a fixed-size word, the probability ``p >= 0.5`` of the
+    more frequent of {0, 1}.  Values near 1 mean the position is highly
+    regular (compressible); values near 0.5 mean it is noise.
+
+    Parameters
+    ----------
+    values:
+        Either an array of fixed-width numeric values (e.g. ``float64``), or
+        a flat ``uint8`` buffer with ``word_bytes`` given.
+    word_bytes:
+        Word width in bytes when ``values`` is a raw byte buffer.  Inferred
+        from the dtype otherwise.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` array of length ``8 * word_bytes``; index 0 is the most
+        significant bit of the big-endian word.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == np.uint8:
+        if word_bytes is None:
+            raise ValueError("word_bytes required for raw byte input")
+        buf = np.ascontiguousarray(arr.ravel())
+    else:
+        word_bytes = arr.dtype.itemsize
+        # Big-endian so bit 0 of the output is the sign bit of a float.
+        buf = np.ascontiguousarray(arr.ravel()).astype(arr.dtype.newbyteorder(">")).view(np.uint8)
+    if buf.size % word_bytes:
+        raise ValueError("buffer length is not a multiple of word_bytes")
+    n_words = buf.size // word_bytes
+    if n_words == 0:
+        raise ValueError("empty input")
+    bits = np.unpackbits(buf.reshape(n_words, word_bytes), axis=1)
+    ones = bits.sum(axis=0, dtype=np.int64) / n_words
+    return np.maximum(ones, 1.0 - ones)
+
+
+def _as_u8(data: bytes | np.ndarray) -> np.ndarray:
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return np.frombuffer(data, dtype=np.uint8)
+    arr = np.asarray(data)
+    if arr.dtype != np.uint8:
+        arr = np.ascontiguousarray(arr).view(np.uint8)
+    return arr.ravel()

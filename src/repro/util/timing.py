@@ -1,0 +1,80 @@
+"""Timers for throughput measurement and model calibration.
+
+The paper reports compression throughput (CTP) and decompression throughput
+(DTP) as ``original size / runtime`` (Eqn 2).  :class:`ThroughputTimer`
+captures that convention so the benchmark harness and the performance-model
+calibrator report the same quantity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "ThroughputTimer"]
+
+
+class Timer:
+    """Context-manager wall-clock timer with monotonic resolution."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class ThroughputTimer:
+    """Accumulates (bytes, seconds) pairs and reports MB/s.
+
+    Throughput follows the paper's Eqn 2: *original* data size over runtime,
+    for both compression and decompression.
+    """
+
+    total_bytes: int = 0
+    total_seconds: float = 0.0
+    samples: int = field(default=0)
+
+    def add(self, nbytes: int, seconds: float) -> None:
+        """Record one sample/span/chunk into this accumulator."""
+        if nbytes < 0 or seconds < 0:
+            raise ValueError("negative sample")
+        self.total_bytes += nbytes
+        self.total_seconds += seconds
+        self.samples += 1
+
+    def time(self, nbytes: int):
+        """Context manager that times a block and credits ``nbytes`` to it."""
+        timer = self
+
+        class _Ctx:
+            def __enter__(self_inner):
+                self_inner._t0 = time.perf_counter()
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                timer.add(nbytes, time.perf_counter() - self_inner._t0)
+
+        return _Ctx()
+
+    @property
+    def mb_per_s(self) -> float:
+        """Throughput in MB/s (MB = 1e6 bytes, matching the paper's axes)."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.total_bytes / 1e6 / self.total_seconds
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Throughput in bytes per second."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.total_bytes / self.total_seconds

@@ -1,0 +1,188 @@
+"""Tests for the analysis package (Figures 1/3 and side studies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bit_probability_profile,
+    byte_sequence_frequencies,
+    chunk_frequency_correlations,
+    permute_values,
+    repeatability_gain,
+)
+from repro.datasets import FIGURE1_DATASETS, generate, generate_bytes
+
+
+class TestBitProbability:
+    @pytest.mark.parametrize("name", FIGURE1_DATASETS)
+    def test_figure1_shape(self, name):
+        """Exponent bits regular, leading mantissa bits near coin-flip.
+
+        Quantized datasets (num_plasma) have a *regular tail* too, so the
+        coin-flip zone is the leading mantissa (bits 16-32), not the whole
+        mantissa.
+        """
+        vals = generate(name, 16384, seed=5)
+        prof = bit_probability_profile(vals, name=name)
+        assert prof.exponent_mean > 0.7
+        leading_mantissa = float(prof.probabilities[16:32].mean())
+        assert leading_mantissa < 0.65
+        assert prof.exponent_mean > leading_mantissa
+
+    def test_accepts_raw_bytes(self, obs_temp_small):
+        prof = bit_probability_profile(obs_temp_small)
+        assert prof.probabilities.shape == (64,)
+
+    def test_probabilities_at_least_half(self, obs_temp_small):
+        prof = bit_probability_profile(obs_temp_small)
+        assert np.all(prof.probabilities >= 0.5)
+        assert np.all(prof.probabilities <= 1.0)
+
+
+class TestByteFrequencies:
+    def test_figure3_contrast(self, num_plasma_small):
+        exp, man = byte_sequence_frequencies(num_plasma_small)
+        # Fig 3a: few unique exponent pairs; Fig 3b: many mantissa pairs.
+        assert exp.n_unique < 2000
+        assert man.n_unique > 10 * exp.n_unique
+        assert exp.top_fraction > man.top_fraction
+
+    def test_frequencies_normalized(self, obs_temp_small):
+        exp, man = byte_sequence_frequencies(obs_temp_small)
+        assert exp.frequencies.sum() == pytest.approx(1.0)
+        assert man.frequencies.sum() == pytest.approx(1.0)
+
+    def test_top_k_mass_monotone(self, obs_temp_small):
+        exp, _ = byte_sequence_frequencies(obs_temp_small)
+        assert exp.top_k_mass(10) <= exp.top_k_mass(100) <= 1.0 + 1e-9
+
+
+class TestRepeatability:
+    def test_mapping_increases_repeatability(self, obs_temp_small):
+        rep = repeatability_gain(obs_temp_small)
+        assert rep.top_byte_gain >= 0
+        assert rep.entropy_reduction >= -1e-9
+
+    def test_gain_magnitude_across_datasets(self):
+        """Sec II-C: noticeable average repeatability gain (paper ~15 %)."""
+        gains = []
+        for name in ["gts_chkp_zeon", "obs_temp", "msg_lu", "num_control"]:
+            data = generate_bytes(name, 8192, seed=2)
+            gains.append(repeatability_gain(data, name=name).top_byte_gain)
+        assert np.mean(gains) > 0.02
+
+
+class TestPermute:
+    def test_preserves_value_multiset(self, obs_temp_small):
+        permuted = permute_values(obs_temp_small, seed=3)
+        orig = np.sort(np.frombuffer(obs_temp_small, dtype=np.uint64))
+        perm = np.sort(np.frombuffer(permuted, dtype=np.uint64))
+        assert np.array_equal(orig, perm)
+
+    def test_changes_order(self, obs_temp_small):
+        assert permute_values(obs_temp_small, seed=3) != obs_temp_small
+
+    def test_deterministic(self, obs_temp_small):
+        assert permute_values(obs_temp_small, seed=3) == permute_values(
+            obs_temp_small, seed=3
+        )
+
+    def test_tail_kept_in_place(self):
+        data = np.arange(4, dtype="<f8").tobytes() + b"zz"
+        permuted = permute_values(data, seed=0)
+        assert permuted[-2:] == b"zz"
+        assert len(permuted) == len(data)
+
+
+class TestIndexCorrelation:
+    def test_stationary_data_correlates(self):
+        data = generate_bytes("obs_temp", 32768, seed=4)
+        study = chunk_frequency_correlations(data, chunk_bytes=32 * 1024)
+        assert study.mean > 0.8
+        assert study.reuse_fraction(0.5) == 1.0
+
+    def test_regime_change_breaks_correlation(self):
+        a = generate_bytes("obs_temp", 8192, seed=4)
+        b = generate_bytes("gts_phi_l", 8192, seed=4)
+        study = chunk_frequency_correlations(a + b, chunk_bytes=8192 * 8)
+        assert study.minimum < 0.6
+
+    def test_single_chunk_defaults(self):
+        data = generate_bytes("obs_temp", 1024, seed=4)
+        study = chunk_frequency_correlations(data, chunk_bytes=1 << 20)
+        assert study.correlations.size == 0
+        assert study.mean == 1.0
+        assert study.reuse_fraction(0.9) == 1.0
+
+
+class TestReport:
+    def test_dataset_report_contents(self):
+        from repro.analysis import dataset_report
+
+        text = dataset_report("obs_temp", n_values=2048, seed=1)
+        assert "# Dataset report: `obs_temp`" in text
+        assert "Codec comparison" in text
+        assert "| primacy |" in text
+        assert "repeatability gain" in text.lower() or "ID-mapping" in text
+
+    def test_report_unknown_dataset(self):
+        from repro.analysis import dataset_report
+
+        with pytest.raises(KeyError):
+            dataset_report("not-a-dataset")
+
+    def test_codec_comparison_rows(self, obs_temp_small):
+        from repro.analysis import codec_comparison_rows
+
+        rows = codec_comparison_rows(obs_temp_small)
+        names = [r[0] for r in rows]
+        assert names[-1] == "primacy"
+        assert all(cr > 0 for _, cr, _, _ in rows)
+
+
+class TestCompressibilityProbe:
+    def test_probe_fields(self, obs_temp_small):
+        from repro.analysis import estimate_compressibility
+
+        probe = estimate_compressibility(obs_temp_small, sample_bytes=16384)
+        assert probe.sample_bytes <= 16384 + 64
+        assert probe.vanilla_ratio > 0.9
+        assert probe.primacy_ratio > probe.vanilla_ratio * 0.9
+        assert 0.0 <= probe.alpha2 <= 1.0
+
+    def test_hard_classification(self):
+        hard = generate_bytes("gts_chkp_zeon", 4096, seed=1)
+        easy = generate_bytes("msg_sppm", 4096, seed=1)
+        from repro.analysis import estimate_compressibility
+
+        assert estimate_compressibility(hard).hard_to_compress
+        assert not estimate_compressibility(easy).hard_to_compress
+
+    def test_recommendation_flips_with_network_speed(self, obs_temp_small):
+        from repro.analysis import estimate_compressibility
+
+        probe = estimate_compressibility(obs_temp_small, sample_bytes=16384)
+        # A network far slower than the compressor: compress.
+        slow = probe.recommend(network_bps=probe.primacy_mbps * 1e6 / 50)
+        # A network far faster than the compressor: do not.
+        fast = probe.recommend(network_bps=probe.primacy_mbps * 1e6 * 50)
+        assert slow is True
+        assert fast is False
+
+    def test_empty_rejected(self):
+        from repro.analysis import estimate_compressibility
+
+        with pytest.raises(ValueError):
+            estimate_compressibility(b"")
+
+    def test_sample_is_representative(self):
+        """A strided sample must see a regime change mid-stream."""
+        from repro.analysis import estimate_compressibility
+
+        a = generate_bytes("msg_sppm", 8192, seed=0)
+        b = generate_bytes("gts_chkp_zeon", 8192, seed=0)
+        probe_mixed = estimate_compressibility(a + b, sample_bytes=16384)
+        probe_easy = estimate_compressibility(a, sample_bytes=16384)
+        assert probe_mixed.vanilla_ratio < probe_easy.vanilla_ratio

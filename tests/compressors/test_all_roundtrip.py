@@ -1,0 +1,48 @@
+"""Cross-codec property tests: every registered codec is lossless."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import available_codecs, get_codec
+
+# primacy is exercised extensively in tests/core; the remaining codecs
+# are cheap enough for property testing here.
+_FAST_CODECS = ["huffman", "null", "pylzo", "pyzlib", "rle", "fpc", "fpzip"]
+
+
+@pytest.mark.parametrize("name", _FAST_CODECS)
+@given(data=st.binary(max_size=1500))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip(name, data):
+    codec = get_codec(name)
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@pytest.mark.parametrize("name", available_codecs())
+def test_empty_input(name):
+    codec = get_codec(name)
+    assert codec.decompress(codec.compress(b"")) == b""
+
+
+@pytest.mark.parametrize("name", available_codecs())
+def test_scientific_doubles_roundtrip(name, obs_temp_small):
+    codec = get_codec(name)
+    assert codec.decompress(codec.compress(obs_temp_small)) == obs_temp_small
+
+
+@pytest.mark.parametrize("name", available_codecs())
+def test_compressed_stream_is_self_describing(name, smooth_doubles):
+    """A fresh codec instance must decode another instance's output."""
+    blob = get_codec(name).compress(smooth_doubles)
+    assert get_codec(name).decompress(blob) == smooth_doubles
+
+
+@pytest.mark.parametrize("name", ["pyzlib", "pylzo", "huffman", "rle"])
+def test_bounded_expansion_on_noise(name):
+    data = np.random.default_rng(9).bytes(32768)
+    compressed = get_codec(name).compress(data)
+    assert len(compressed) <= len(data) * 1.02 + 16

@@ -1,0 +1,103 @@
+"""Tests for the FPC predictive codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CodecError
+from repro.compressors.fpc import FpcCodec
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [0.0],
+            [1.0, 2.0, 3.0],
+            [np.nan, np.inf, -np.inf, -0.0],
+            list(np.linspace(-1e300, 1e300, 100)),
+        ],
+        ids=["empty", "zero", "small", "special", "extreme"],
+    )
+    def test_value_lists(self, values):
+        data = np.array(values, dtype="<f8").tobytes()
+        codec = FpcCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_non_multiple_of_eight_tail(self):
+        data = np.arange(10, dtype="<f8").tobytes() + b"xyz"
+        codec = FpcCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_smooth_field_roundtrip(self, smooth_doubles):
+        codec = FpcCodec()
+        assert codec.decompress(codec.compress(smooth_doubles)) == smooth_doubles
+
+    def test_noise_roundtrip(self, noisy_doubles):
+        codec = FpcCodec()
+        assert codec.decompress(codec.compress(noisy_doubles)) == noisy_doubles
+
+    @given(st.lists(st.floats(allow_nan=False, width=64), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, values):
+        data = np.array(values, dtype="<f8").tobytes()
+        codec = FpcCodec(table_bits=8)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=1024))
+    @settings(max_examples=40, deadline=None)
+    def test_property_arbitrary_bytes(self, data):
+        codec = FpcCodec(table_bits=6)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestPrediction:
+    def test_constant_stream_compresses_hard(self):
+        data = np.full(4096, 1234.5678, dtype="<f8").tobytes()
+        compressed = FpcCodec().compress(data)
+        assert len(compressed) < len(data) / 8
+
+    def test_linear_ramp_compresses_via_dfcm(self):
+        # Constant deltas: DFCM predicts perfectly after warm-up.
+        data = (np.arange(8192, dtype="<f8") * 0.5).tobytes()
+        compressed = FpcCodec().compress(data)
+        assert len(compressed) < len(data) / 3
+
+    def test_random_mantissas_do_not_explode(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 1 << 52, 4096, dtype=np.uint64)
+        data = (bits | np.uint64(0x3FF0000000000000)).view("<f8").tobytes()
+        compressed = FpcCodec().compress(data)
+        # Header nibble overhead only: bounded expansion.
+        assert len(compressed) < len(data) * 1.1
+
+    def test_smooth_beats_noise(self, smooth_doubles, noisy_doubles):
+        codec = FpcCodec()
+        cr_smooth = len(smooth_doubles) / len(codec.compress(smooth_doubles))
+        cr_noise = len(noisy_doubles) / len(codec.compress(noisy_doubles))
+        assert cr_smooth > cr_noise
+
+
+class TestValidation:
+    def test_table_bits_range(self):
+        with pytest.raises(ValueError):
+            FpcCodec(table_bits=2)
+        with pytest.raises(ValueError):
+            FpcCodec(table_bits=30)
+
+    def test_truncated_stream(self):
+        codec = FpcCodec()
+        blob = codec.compress(np.arange(100, dtype="<f8").tobytes())
+        with pytest.raises(CodecError):
+            codec.decompress(blob[: len(blob) - 8])
+
+    def test_corrupt_table_bits(self):
+        codec = FpcCodec()
+        blob = bytearray(codec.compress(np.arange(10, dtype="<f8").tobytes()))
+        blob[1] = 99  # table_bits byte
+        with pytest.raises(CodecError):
+            codec.decompress(bytes(blob))

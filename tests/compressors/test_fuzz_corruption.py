@@ -1,0 +1,97 @@
+"""Failure injection: corrupt compressed streams must fail *cleanly*.
+
+Contract: ``decompress`` on malformed input either returns bytes (silent
+mis-decode is permitted only for codecs without integrity checks) or
+raises ``CodecError`` / ``ValueError``.  It must never raise anything
+else (IndexError, OverflowError, ...), hang, or crash the interpreter --
+a corrupted checkpoint must not take the analysis pipeline down with it.
+
+The PRIMACY container additionally carries Adler-32 chunk checksums, so
+single-byte payload corruption must be *detected*, not just survived.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import CodecError, available_codecs, get_codec
+from repro.datasets import generate_bytes
+
+_ALLOWED = (CodecError, ValueError)
+_TRIALS = 60
+
+
+@pytest.fixture(scope="module")
+def sample() -> bytes:
+    return generate_bytes("obs_temp", 2048, seed=0)
+
+
+def _corruptions(blob: bytes, rng: np.random.Generator):
+    """Yield corrupted variants: bit flips, truncations, burst damage."""
+    for trial in range(_TRIALS):
+        corrupted = bytearray(blob)
+        mode = trial % 3
+        if mode == 0 and len(corrupted) > 1:
+            pos = int(rng.integers(0, len(corrupted)))
+            corrupted[pos] ^= int(rng.integers(1, 256))
+        elif mode == 1:
+            corrupted = corrupted[: int(rng.integers(0, len(corrupted)))]
+        else:
+            for _ in range(5):
+                pos = int(rng.integers(0, len(corrupted)))
+                corrupted[pos] ^= int(rng.integers(1, 256))
+        yield bytes(corrupted)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in available_codecs() if n != "rangecoder"]
+)
+def test_corruption_fails_cleanly(name, sample):
+    codec = get_codec(name)
+    blob = codec.compress(sample)
+    import zlib as _zlib
+
+    rng = np.random.default_rng(_zlib.crc32(name.encode()))
+    for corrupted in _corruptions(blob, rng):
+        try:
+            codec.decompress(corrupted)
+        except _ALLOWED:
+            pass  # clean failure
+
+
+def test_primacy_checksum_detects_payload_corruption(sample):
+    """Flipping bytes inside chunk payloads must raise, not mis-decode."""
+    codec = get_codec("primacy", chunk_bytes=8 * 1024)
+    blob = bytearray(codec.compress(sample))
+    rng = np.random.default_rng(1)
+    detected = 0
+    survived_identical = 0
+    trials = 40
+    for _ in range(trials):
+        corrupted = bytearray(blob)
+        # Stay away from the global header (first 32 bytes).
+        pos = int(rng.integers(32, len(corrupted)))
+        corrupted[pos] ^= int(rng.integers(1, 256))
+        try:
+            out = codec.decompress(bytes(corrupted))
+        except (CodecError, ValueError):
+            detected += 1
+        else:
+            if out == sample:
+                survived_identical += 1  # hit padding / ignored bits
+    # Every undetected corruption must have been semantically harmless.
+    assert detected + survived_identical == trials
+    assert detected > trials // 2
+
+
+@pytest.mark.parametrize("name", ["pyzlib", "huffman", "primacy"])
+def test_garbage_input_fails_cleanly(name):
+    codec = get_codec(name)
+    rng = np.random.default_rng(2)
+    for size in (0, 1, 7, 100, 4096):
+        garbage = rng.bytes(size)
+        try:
+            codec.decompress(garbage)
+        except _ALLOWED:
+            pass

@@ -1,0 +1,192 @@
+"""Tests for the canonical length-limited Huffman coder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CodecError, get_codec
+from repro.compressors.huffman import (
+    MAX_BITS,
+    SYNC_SYMBOLS,
+    HuffmanTable,
+    canonical_codes,
+    code_lengths,
+    decode_symbol_block,
+    encode_symbol_block,
+)
+
+
+class TestCodeLengths:
+    def test_empty_alphabet(self):
+        assert code_lengths(np.zeros(256, np.int64)).sum() == 0
+
+    def test_single_symbol_gets_length_one(self):
+        freqs = np.zeros(256, np.int64)
+        freqs[65] = 1000
+        lengths = code_lengths(freqs)
+        assert lengths[65] == 1
+        assert lengths.sum() == 1
+
+    def test_kraft_equality(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(0, 1000, 256)
+        lengths = code_lengths(freqs)
+        nz = lengths[lengths > 0]
+        assert (2.0 ** (-nz)).sum() == pytest.approx(1.0)
+
+    def test_respects_length_limit(self):
+        # Exponential frequencies would need > MAX_BITS codes if unlimited.
+        freqs = np.array([2**i for i in range(40)] + [0] * 216, dtype=np.int64)
+        lengths = code_lengths(freqs)
+        assert lengths.max() <= MAX_BITS
+
+    def test_more_frequent_is_never_longer(self):
+        freqs = np.array([1000, 100, 10, 1], dtype=np.int64)
+        lengths = code_lengths(freqs)
+        assert lengths[0] <= lengths[1] <= lengths[2] <= lengths[3]
+
+    def test_cost_within_one_bit_of_entropy(self):
+        rng = np.random.default_rng(1)
+        freqs = rng.zipf(1.5, 100000).clip(1, 255)
+        hist = np.bincount(freqs, minlength=256)
+        lengths = code_lengths(hist)
+        p = hist[hist > 0] / hist.sum()
+        entropy = -(p * np.log2(p)).sum()
+        avg_len = (hist * lengths).sum() / hist.sum()
+        assert entropy <= avg_len <= entropy + 1.0
+
+    def test_rejects_negative_frequencies(self):
+        with pytest.raises(ValueError):
+            code_lengths(np.array([-1, 5]))
+
+    def test_rejects_oversized_alphabet(self):
+        with pytest.raises(ValueError):
+            code_lengths(np.ones(1 << 13, dtype=np.int64), max_bits=12)
+
+    @given(st.lists(st.integers(0, 10000), min_size=2, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_property_kraft_holds(self, freq_list):
+        freqs = np.array(freq_list, dtype=np.int64)
+        lengths = code_lengths(freqs)
+        nz = lengths[lengths > 0]
+        if nz.size:
+            assert (2.0 ** (-nz.astype(float))).sum() <= 1.0 + 1e-9
+        # Present symbols always get codes; absent never do.
+        assert np.all((lengths > 0) == (freqs > 0)) or (freqs > 0).sum() == 1
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        freqs = np.random.default_rng(2).integers(1, 100, 40)
+        lengths = code_lengths(np.concatenate([freqs, np.zeros(216, np.int64)]))
+        codes = canonical_codes(lengths)
+        words = [
+            format(int(codes[s]), f"0{int(lengths[s])}b")
+            for s in np.flatnonzero(lengths)
+        ]
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_all_zero_lengths(self):
+        assert canonical_codes(np.zeros(10, np.int64)).sum() == 0
+
+
+class TestHuffmanTableRoundtrip:
+    @pytest.mark.parametrize(
+        "n", [1, 2, 100, SYNC_SYMBOLS - 1, SYNC_SYMBOLS, SYNC_SYMBOLS + 1, 50000]
+    )
+    def test_sizes_across_block_boundaries(self, n):
+        rng = np.random.default_rng(n)
+        symbols = rng.zipf(1.4, n).clip(0, 255).astype(np.int64)
+        freqs = np.bincount(symbols, minlength=256)
+        table = HuffmanTable.from_frequencies(freqs)
+        stream, offsets = table.encode(symbols)
+        out = table.decode(stream, n, offsets)
+        assert np.array_equal(out, symbols)
+
+    def test_serialize_roundtrip(self):
+        freqs = np.bincount(np.arange(50) % 7, minlength=256)
+        table = HuffmanTable.from_frequencies(freqs)
+        blob = table.serialize()
+        restored, pos = HuffmanTable.deserialize(blob)
+        assert pos == len(blob)
+        assert np.array_equal(restored.lengths, table.lengths)
+        assert np.array_equal(restored.codes, table.codes)
+
+    def test_encode_rejects_uncoded_symbol(self):
+        freqs = np.zeros(256, np.int64)
+        freqs[1] = 10
+        freqs[2] = 10
+        table = HuffmanTable.from_frequencies(freqs)
+        with pytest.raises(CodecError):
+            table.encode(np.array([3]))
+
+    def test_decode_rejects_bad_offsets(self):
+        freqs = np.bincount(np.zeros(10, np.int64) + 5, minlength=256)
+        freqs[7] = 5
+        table = HuffmanTable.from_frequencies(freqs)
+        symbols = np.array([5, 7] * 50)
+        stream, offsets = table.encode(symbols)
+        with pytest.raises(CodecError):
+            table.decode(stream, 100, offsets[:-1] if offsets.size > 1 else np.array([99999]))
+
+    def test_kraft_violation_rejected_on_deserialize(self):
+        from repro.util.varint import encode_uvarint
+
+        lengths = np.ones(256, dtype=np.uint8)  # 256 one-bit codes: invalid
+        nibbles = (lengths[0::2] << 4) | lengths[1::2]
+        blob = encode_uvarint(256) + nibbles.tobytes()
+        with pytest.raises(CodecError, match="Kraft"):
+            HuffmanTable.deserialize(blob)
+
+
+class TestSymbolBlocks:
+    def test_roundtrip_large_alphabet(self):
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(0, 300, 5000)
+        blob = encode_symbol_block(symbols, 300)
+        out, pos = decode_symbol_block(blob)
+        assert pos == len(blob)
+        assert np.array_equal(out, symbols)
+
+    def test_empty_block(self):
+        blob = encode_symbol_block(np.zeros(0, np.int64), 256)
+        out, _ = decode_symbol_block(blob)
+        assert out.size == 0
+
+    def test_out_of_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            encode_symbol_block(np.array([256]), 256)
+
+    def test_truncated_stream_rejected(self):
+        blob = encode_symbol_block(np.arange(100) % 9, 256)
+        with pytest.raises((CodecError, ValueError)):
+            decode_symbol_block(blob[: len(blob) - 5])
+
+
+class TestHuffmanCodec:
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"x", b"aaaa", bytes(range(256)) * 4, b"\x00" * 10000],
+        ids=["empty", "single", "run", "uniform", "zeros"],
+    )
+    def test_roundtrips(self, data):
+        codec = get_codec("huffman")
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_skewed_data_compresses(self):
+        rng = np.random.default_rng(4)
+        data = rng.zipf(1.3, 100000).clip(0, 255).astype(np.uint8).tobytes()
+        codec = get_codec("huffman")
+        assert len(codec.compress(data)) < len(data)
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, data):
+        codec = get_codec("huffman")
+        assert codec.decompress(codec.compress(data)) == data

@@ -1,0 +1,172 @@
+"""Tests for the LZ77 tokenizer and reassembler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CodecError
+from repro.compressors.lz77 import (
+    MIN_MATCH,
+    TokenStream,
+    reassemble,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_empty(self):
+        stream = tokenize(b"")
+        assert stream.n_matches == 0
+        assert reassemble(stream) == b""
+
+    def test_short_input_all_literal(self):
+        stream = tokenize(b"ab")
+        assert stream.n_matches == 0
+        assert stream.literals == b"ab"
+
+    def test_run_produces_overlapping_match(self):
+        data = b"A" * 1000
+        stream = tokenize(data)
+        assert stream.n_matches >= 1
+        # The bulk of the run must come from matches, not literals.
+        assert len(stream.literals) < 10
+        assert int(stream.match_dists.min()) >= 1
+
+    def test_repeated_phrase_found(self):
+        phrase = b"the quick brown fox "
+        data = phrase * 50
+        stream = tokenize(data)
+        assert stream.n_matches >= 1
+        assert int(stream.match_lens.max()) >= len(phrase)
+
+    def test_incompressible_mostly_literal(self):
+        data = np.random.default_rng(0).integers(0, 256, 20000, dtype=np.uint8).tobytes()
+        stream = tokenize(data)
+        assert len(stream.literals) > 0.9 * len(data)
+
+    def test_min_match_respected(self):
+        stream = tokenize(b"abcXabcYabcZ" * 20, min_match=5)
+        if stream.n_matches:
+            assert int(stream.match_lens.min()) >= 5
+
+    def test_min_match_validation(self):
+        with pytest.raises(ValueError):
+            tokenize(b"xx", min_match=2)
+
+    def test_max_chain_zero_disables_matching(self):
+        data = b"hello hello hello hello hello"
+        stream = tokenize(data, max_chain=0)
+        assert stream.n_matches == 0
+        assert reassemble(stream) == data
+
+
+class TestReassemble:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abcabcabcabc",
+            b"x" * 5000,
+            b"ab" * 3000,
+            bytes(range(256)) * 20,
+            b"mississippi " * 100,
+        ],
+    )
+    def test_roundtrips(self, data):
+        assert reassemble(tokenize(data)) == data
+
+    def test_roundtrip_float_data(self, noisy_doubles):
+        assert reassemble(tokenize(noisy_doubles)) == noisy_doubles
+
+    def test_invalid_distance_rejected(self):
+        stream = TokenStream(
+            lit_runs=np.array([1, 0]),
+            match_lens=np.array([MIN_MATCH]),
+            match_dists=np.array([5]),  # reaches before the start
+            literals=b"a",
+            original_size=1 + MIN_MATCH,
+        )
+        with pytest.raises(CodecError):
+            reassemble(stream)
+
+    def test_validate_catches_bad_shapes(self):
+        stream = TokenStream(
+            lit_runs=np.array([1]),
+            match_lens=np.array([MIN_MATCH]),
+            match_dists=np.array([1]),
+            literals=b"a",
+            original_size=5,
+        )
+        with pytest.raises(CodecError, match="one more entry"):
+            stream.validate()
+
+    def test_validate_catches_size_mismatch(self):
+        stream = TokenStream(
+            lit_runs=np.array([2, 0]),
+            match_lens=np.array([MIN_MATCH]),
+            match_dists=np.array([1]),
+            literals=b"ab",
+            original_size=99,
+        )
+        with pytest.raises(CodecError, match="cover"):
+            stream.validate()
+
+    def test_validate_catches_short_match(self):
+        stream = TokenStream(
+            lit_runs=np.array([2, 0]),
+            match_lens=np.array([2]),
+            match_dists=np.array([1]),
+            literals=b"ab",
+            original_size=4,
+        )
+        with pytest.raises(CodecError, match="MIN_MATCH"):
+            stream.validate()
+
+    @given(st.binary(max_size=4000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, data):
+        assert reassemble(tokenize(data)) == data
+
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.integers(2, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_periodic_roundtrip(self, block, reps):
+        data = block * reps
+        assert reassemble(tokenize(data)) == data
+
+
+class TestLazyMatching:
+    @pytest.mark.parametrize(
+        "data",
+        [b"aXbcdef abcdefgh " * 200, b"mississippi " * 300, b"x" * 2000],
+    )
+    def test_lazy_roundtrips(self, data):
+        assert reassemble(tokenize(data, lazy=True)) == data
+
+    def test_lazy_never_produces_worse_coverage(self):
+        # Token streams must cover the input exactly under both modes.
+        data = b"abcabcabdabcabc" * 100
+        for lazy in (False, True):
+            stream = tokenize(data, lazy=lazy)
+            stream.validate()
+
+    def test_lazy_prefers_longer_deferred_match(self):
+        # 'bcdefgh' (7) at i+1 should beat 'abc' (shorter) at i.
+        prefix = b"0123bcdefgh4567abc89"
+        data = prefix + b"!abcdefgh!" * 4
+        greedy = tokenize(data, lazy=False, max_chain=64)
+        lazy = tokenize(data, lazy=True, max_chain=64)
+        assert reassemble(lazy) == data
+        if lazy.n_matches and greedy.n_matches:
+            assert int(lazy.match_lens.max()) >= int(greedy.match_lens.max())
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_lazy_roundtrip(self, data):
+        assert reassemble(tokenize(data, lazy=True)) == data

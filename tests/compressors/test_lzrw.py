@@ -1,0 +1,107 @@
+"""Tests for the pylzo (LZRW1-style) codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CodecError, get_codec
+from repro.compressors.lzrw import LzrwCodec
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"z",
+            b"ab",
+            b"abc" * 2000,
+            b"x" * 10000,
+            bytes(range(256)) * 8,
+            b"lzo is fast " * 100,
+        ],
+        ids=["empty", "one", "two", "cycle3", "run", "cycle256", "phrases"],
+    )
+    def test_basic(self, data):
+        codec = LzrwCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_random_roundtrip(self, random_bytes):
+        codec = LzrwCodec()
+        assert codec.decompress(codec.compress(random_bytes)) == random_bytes
+
+    def test_float_roundtrip(self, smooth_doubles):
+        codec = LzrwCodec()
+        assert codec.decompress(codec.compress(smooth_doubles)) == smooth_doubles
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, data):
+        codec = LzrwCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestProfile:
+    def test_weaker_than_pyzlib_on_text(self):
+        data = b"the entropy coder makes the difference " * 200
+        lzo_size = len(LzrwCodec().compress(data))
+        zlib_size = len(get_codec("pyzlib").compress(data))
+        assert zlib_size < lzo_size
+
+    def test_faster_than_pyzlib_on_mixed_data(self, noisy_doubles):
+        import time
+
+        lzo = LzrwCodec()
+        zlib_like = get_codec("pyzlib")
+        t0 = time.perf_counter()
+        lzo.compress(noisy_doubles)
+        t_lzo = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        zlib_like.compress(noisy_doubles)
+        t_zlib = time.perf_counter() - t0
+        assert t_lzo < t_zlib
+
+    def test_incompressible_expansion_bounded(self, random_bytes):
+        assert len(LzrwCodec().compress(random_bytes)) <= len(random_bytes) + 10
+
+    def test_window_limit_respected(self):
+        # Matches farther than 4095 bytes back cannot be encoded; data
+        # repeating at a longer period must still round-trip.
+        block = np.random.default_rng(3).bytes(5000)
+        data = block * 3
+        codec = LzrwCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestCorruptStreams:
+    def test_unknown_mode(self):
+        codec = LzrwCodec()
+        blob = bytearray(codec.compress(b"hello hello hello hello"))
+        blob[1] = 0x77
+        with pytest.raises(CodecError, match="mode"):
+            codec.decompress(bytes(blob))
+
+    def test_truncated(self):
+        codec = LzrwCodec()
+        blob = codec.compress(b"abcabcabc" * 100)
+        with pytest.raises((CodecError, ValueError)):
+            codec.decompress(blob[: len(blob) // 2])
+
+    def test_invalid_offset_rejected(self):
+        # Hand-craft a stream whose first record is a match reaching before
+        # the start of the output: uvarint run=1, literal 'a', match with
+        # offset 5 but only 1 byte produced so far.
+        from repro.util.varint import encode_uvarint
+
+        bad = (
+            encode_uvarint(10)
+            + bytes([1])  # compressed mode
+            + encode_uvarint(1)
+            + b"a"
+            + bytes([0x00, 0x05])  # len=3, offset=5 > len(out)=1
+        )
+        with pytest.raises(CodecError, match="offset"):
+            LzrwCodec().decompress(bad)

@@ -1,0 +1,98 @@
+"""Tests for the RLE and null codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CodecError
+from repro.compressors.null import NullCodec
+from repro.compressors.rle import RleCodec, find_runs
+
+
+class TestFindRuns:
+    def test_empty(self):
+        starts, lengths = find_runs(np.zeros(0, np.uint8))
+        assert starts.size == 0 and lengths.size == 0
+
+    def test_single_run(self):
+        starts, lengths = find_runs(np.frombuffer(b"aaaa", np.uint8))
+        assert starts.tolist() == [0]
+        assert lengths.tolist() == [4]
+
+    def test_alternating(self):
+        starts, lengths = find_runs(np.frombuffer(b"abab", np.uint8))
+        assert starts.tolist() == [0, 1, 2, 3]
+        assert lengths.tolist() == [1, 1, 1, 1]
+
+    def test_mixed(self):
+        starts, lengths = find_runs(np.frombuffer(b"aabbbc", np.uint8))
+        assert starts.tolist() == [0, 2, 5]
+        assert lengths.tolist() == [2, 3, 1]
+
+    def test_covers_input(self):
+        rng = np.random.default_rng(0)
+        buf = rng.integers(0, 3, 1000).astype(np.uint8)
+        starts, lengths = find_runs(buf)
+        assert int(lengths.sum()) == buf.size
+        assert starts[0] == 0
+
+
+class TestRleCodec:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"ab",
+            b"a" * 3,
+            b"a" * 128,
+            b"a" * 129,
+            b"a" * 1000,
+            b"abc" * 100,
+            bytes(range(256)),
+            b"x" * 127 + b"y" * 3 + b"z",
+        ],
+    )
+    def test_roundtrips(self, data):
+        codec = RleCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_long_runs_compress(self):
+        data = b"\x00" * 100000
+        assert len(RleCodec().compress(data)) < 2000
+
+    def test_literal_expansion_bounded(self, random_bytes):
+        # PackBits worst case: 1 control byte per 128 literals.
+        compressed = RleCodec().compress(random_bytes)
+        assert len(compressed) <= len(random_bytes) * 129 / 128 + 2
+
+    def test_reserved_control_rejected(self):
+        with pytest.raises(CodecError):
+            RleCodec().decompress(bytes([128, 0]))
+
+    def test_truncated_literal_rejected(self):
+        with pytest.raises(CodecError):
+            RleCodec().decompress(bytes([5, 1, 2]))
+
+    def test_truncated_run_rejected(self):
+        with pytest.raises(CodecError):
+            RleCodec().decompress(bytes([200]))
+
+    @given(st.binary(max_size=4000))
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, data):
+        codec = RleCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestNullCodec:
+    def test_identity(self, random_bytes):
+        codec = NullCodec()
+        assert codec.compress(random_bytes) == random_bytes
+        assert codec.decompress(random_bytes) == random_bytes
+
+    def test_cr_is_one(self):
+        assert NullCodec().compression_ratio(b"any data at all") == 1.0

@@ -1,0 +1,44 @@
+"""Shared fixtures: cached synthetic data so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_bytes
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def smooth_doubles() -> bytes:
+    """Smooth scientific-ish float64 stream (compressible everywhere)."""
+    r = np.random.default_rng(1)
+    vals = np.cumsum(r.normal(0, 0.01, 16384)) + 300.0
+    return vals.astype("<f8").tobytes()
+
+
+@pytest.fixture(scope="session")
+def noisy_doubles() -> bytes:
+    """Hard-to-compress float64 stream (random mantissas)."""
+    r = np.random.default_rng(2)
+    vals = r.normal(300.0, 5.0, 16384) * (1 + r.normal(0, 1e-3, 16384))
+    return vals.astype("<f8").tobytes()
+
+
+@pytest.fixture(scope="session")
+def random_bytes() -> bytes:
+    return np.random.default_rng(3).integers(0, 256, 65536, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture(scope="session")
+def obs_temp_small() -> bytes:
+    return generate_bytes("obs_temp", 8192, seed=11)
+
+
+@pytest.fixture(scope="session")
+def num_plasma_small() -> bytes:
+    return generate_bytes("num_plasma", 8192, seed=11)

@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    FIGURE1_DATASETS,
+    FIGURE3_DATASETS,
+    FIGURE4_DATASETS,
+    dataset_names,
+    generate,
+    generate_bytes,
+    get_spec,
+)
+
+
+class TestRegistry:
+    def test_twenty_datasets(self):
+        assert len(dataset_names()) == 20
+
+    def test_table3_order_preserved(self):
+        names = dataset_names()
+        assert names[0] == "gts_chkp_zeon"
+        assert names[-1] == "obs_temp"
+
+    def test_figure_groups_are_registered(self):
+        for group in [FIGURE1_DATASETS, FIGURE3_DATASETS, FIGURE4_DATASETS]:
+            for name in group:
+                assert name in DATASETS
+
+    def test_figure4_matches_paper(self):
+        assert FIGURE4_DATASETS == ("num_comet", "flash_velx", "obs_temp")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("nope")
+
+    def test_specs_have_paper_calibration(self):
+        for spec in DATASETS.values():
+            assert spec.paper_zlib_cr >= 1.0
+            assert spec.paper_primacy_cr >= 1.0
+            assert 0.0 <= spec.smoothness < 1.0
+
+
+class TestGeneration:
+    def test_shape_and_dtype(self):
+        vals = generate("obs_temp", 1000, seed=0)
+        assert vals.shape == (1000,)
+        assert vals.dtype == np.dtype("<f8")
+
+    def test_deterministic(self):
+        a = generate("flash_velx", 2048, seed=7)
+        b = generate("flash_velx", 2048, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = generate("flash_velx", 2048, seed=7)
+        b = generate("flash_velx", 2048, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_datasets_differ_from_each_other(self):
+        a = generate("gts_phi_l", 1024, seed=0)
+        b = generate("gts_phi_nl", 1024, seed=0)
+        assert not np.array_equal(a, b)
+
+    def test_all_finite(self):
+        for name in dataset_names():
+            vals = generate(name, 512, seed=1)
+            assert np.all(np.isfinite(vals)), name
+
+    def test_generate_bytes_consistent(self):
+        assert (
+            generate_bytes("msg_lu", 256, seed=2)
+            == generate("msg_lu", 256, seed=2).tobytes()
+        )
+
+    def test_n_values_validation(self):
+        with pytest.raises(ValueError):
+            generate("obs_temp", 0)
+
+    def test_exponent_range_respected(self):
+        spec = get_spec("obs_temp")
+        vals = np.abs(generate("obs_temp", 8192, seed=0))
+        log_mag = np.log10(vals[vals > 0])
+        spread = log_mag.max() - log_mag.min()
+        # tanh-bounded magnitude mapping plus moderate relative noise.
+        assert spread < spec.exponent_decades + 1.5
+
+    def test_negative_fraction(self):
+        vals = generate("flash_velx", 8192, seed=0)
+        frac = (vals < 0).mean()
+        assert 0.3 < frac < 0.7
+
+    def test_quantization_creates_zero_mantissa_tail(self):
+        vals = generate("num_plasma", 4096, seed=0)
+        bits = vals.view(np.uint64)
+        # quantize_bits=22 leaves the low ~29 mantissa bits zero.
+        assert np.all((bits & np.uint64((1 << 24) - 1)) == 0)
+
+    def test_tiled_dataset_is_repetitive(self):
+        # Tiling repeats whole values; fresh blocks and point perturbations
+        # keep it from being a pure cycle, but most values still recur.
+        vals = generate("msg_sppm", 8192, seed=0)
+        unique = np.unique(vals.view(np.uint64)).size
+        assert unique < vals.size / 2
+
+
+class TestCalibration:
+    """The generated data must land in the paper's compressibility bands."""
+
+    @pytest.mark.parametrize("name", ["gts_chkp_zeon", "obs_temp", "num_control"])
+    def test_hard_datasets_are_hard(self, name):
+        from repro.compressors import get_codec
+
+        data = generate_bytes(name, 8192, seed=1)
+        cr = len(data) / len(get_codec("pyzlib").compress(data))
+        assert cr < 1.25
+
+    def test_sppm_is_easy(self):
+        from repro.compressors import get_codec
+
+        data = generate_bytes("msg_sppm", 8192, seed=1)
+        cr = len(data) / len(get_codec("pyzlib").compress(data))
+        assert cr > 4.0
+
+    def test_plasma_is_medium(self):
+        from repro.compressors import get_codec
+
+        data = generate_bytes("num_plasma", 8192, seed=1)
+        cr = len(data) / len(get_codec("pyzlib").compress(data))
+        assert 1.4 < cr < 3.5

@@ -1,0 +1,71 @@
+"""Tests for real-data loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate
+from repro.datasets.io import (
+    DATA_DIR_ENV,
+    find_real_file,
+    load_values,
+    real_data_dir,
+)
+
+
+class TestRealDataDir:
+    def test_unset_env(self, monkeypatch):
+        monkeypatch.delenv(DATA_DIR_ENV, raising=False)
+        assert real_data_dir() is None
+        assert find_real_file("obs_temp") is None
+
+    def test_nonexistent_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "missing"))
+        assert real_data_dir() is None
+
+    def test_suffix_resolution(self, tmp_path):
+        (tmp_path / "a.f64").write_bytes(b"\x00" * 8)
+        (tmp_path / "b.bin").write_bytes(b"\x00" * 8)
+        (tmp_path / "c").write_bytes(b"\x00" * 8)
+        assert find_real_file("a", tmp_path).name == "a.f64"
+        assert find_real_file("b", tmp_path).name == "b.bin"
+        assert find_real_file("c", tmp_path).name == "c"
+        assert find_real_file("d", tmp_path) is None
+
+
+class TestLoadValues:
+    def test_loads_prefix(self, tmp_path):
+        vals = np.arange(100, dtype="<f8")
+        path = tmp_path / "v.f64"
+        vals.tofile(path)
+        out = load_values(path, 10)
+        assert np.array_equal(out, vals[:10])
+
+    def test_loads_all(self, tmp_path):
+        vals = np.arange(25, dtype="<f8")
+        path = tmp_path / "v.f64"
+        vals.tofile(path)
+        assert load_values(path).size == 25
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "v.f64"
+        np.arange(5, dtype="<f8").tofile(path)
+        with pytest.raises(ValueError):
+            load_values(path, 10)
+
+
+class TestGenerateUsesRealData:
+    def test_env_overrides_synthetic(self, monkeypatch, tmp_path):
+        real = np.linspace(0, 1, 4096).astype("<f8")
+        real.tofile(tmp_path / "obs_temp.f64")
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path))
+        out = generate("obs_temp", 2048, seed=0)
+        assert np.array_equal(out, real[:2048])
+
+    def test_other_names_stay_synthetic(self, monkeypatch, tmp_path):
+        np.linspace(0, 1, 4096).astype("<f8").tofile(tmp_path / "obs_temp.f64")
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path))
+        synthetic = generate("msg_lu", 1024, seed=0)
+        monkeypatch.delenv(DATA_DIR_ENV)
+        assert np.array_equal(synthetic, generate("msg_lu", 1024, seed=0))

@@ -1,0 +1,96 @@
+"""Tests for the multi-group staging cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_codec
+from repro.iosim import (
+    CodecStrategy,
+    NullStrategy,
+    StagingCluster,
+    StagingEnvironment,
+)
+
+_ENV = StagingEnvironment(
+    rho=4,
+    network_write_bps=20e6,
+    network_read_bps=50e6,
+    disk_write_bps=20e6,
+    disk_read_bps=80e6,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> bytes:
+    rng = np.random.default_rng(3)
+    vals = np.cumsum(rng.normal(0, 0.01, 65536)) + 10.0
+    # Reduced precision so even the weak lzo analogue finds matches.
+    m, e = np.frexp(vals)
+    vals = np.ldexp(np.round(m * 2**16) / 2**16, e)
+    return vals.astype("<f8").tobytes()
+
+
+class TestStagingCluster:
+    def test_shards_cover_dataset(self, dataset):
+        cluster = StagingCluster(_ENV, 4)
+        shards = cluster._shards(dataset)
+        assert len(shards) == 4
+        assert b"".join(shards) == dataset
+
+    def test_null_write_throughput_scales_with_groups(self, dataset):
+        """Independent groups: aggregate throughput ~ linear in groups."""
+        tau1 = StagingCluster(_ENV, 1).simulate_write(
+            dataset, NullStrategy
+        ).throughput_bps
+        tau4 = StagingCluster(_ENV, 4).simulate_write(
+            dataset, NullStrategy
+        ).throughput_bps
+        assert tau4 == pytest.approx(4 * tau1, rel=0.05)
+
+    def test_makespan_is_max_group(self, dataset):
+        result = StagingCluster(_ENV, 3).simulate_write(dataset, NullStrategy)
+        assert result.makespan == max(r.t_total for r in result.group_results)
+
+    def test_no_jitter_no_stragglers(self, dataset):
+        result = StagingCluster(_ENV, 4).simulate_write(dataset, NullStrategy)
+        assert result.straggler_penalty == pytest.approx(1.0, rel=0.01)
+
+    def test_jitter_creates_stragglers(self, dataset):
+        env = StagingEnvironment(
+            rho=4,
+            network_write_bps=20e6,
+            network_read_bps=50e6,
+            disk_write_bps=20e6,
+            disk_read_bps=80e6,
+            jitter=0.5,
+            seed=7,
+        )
+        cluster = StagingCluster(env, 8)
+        result = cluster.simulate_write(
+            dataset, lambda: CodecStrategy(get_codec("pylzo"))
+        )
+        assert result.straggler_penalty > 1.0
+
+    def test_read_direction(self, dataset):
+        result = StagingCluster(_ENV, 2).simulate_read(dataset, NullStrategy)
+        assert result.direction == "read"
+        assert result.original_bytes == len(dataset)
+
+    def test_group_count_validation(self):
+        with pytest.raises(ValueError):
+            StagingCluster(_ENV, 0)
+
+    def test_too_small_dataset(self):
+        cluster = StagingCluster(_ENV, 4)
+        with pytest.raises(ValueError):
+            cluster.simulate_write(b"12345678" * 4, NullStrategy)
+
+    def test_compression_reduces_payload_cluster_wide(self, dataset):
+        cluster = StagingCluster(_ENV, 2)
+        null = cluster.simulate_write(dataset, NullStrategy)
+        lzo = cluster.simulate_write(
+            dataset, lambda: CodecStrategy(get_codec("pylzo"))
+        )
+        assert lzo.payload_bytes < null.payload_bytes

@@ -1,0 +1,62 @@
+"""Tests for the staging environment description."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compressors import get_codec
+from repro.iosim import (
+    StagingEnvironment,
+    jaguar_like_environment,
+    measure_reference_throughput,
+)
+
+
+class TestStagingEnvironment:
+    def test_defaults_match_jaguar(self):
+        env = StagingEnvironment()
+        assert env.rho == 8
+        assert env.network_write_bps == pytest.approx(34e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StagingEnvironment(rho=0)
+        with pytest.raises(ValueError):
+            StagingEnvironment(network_write_bps=-1)
+        with pytest.raises(ValueError):
+            StagingEnvironment(jitter=-0.5)
+
+    def test_null_write_baseline_matches_fig4(self):
+        """tau_null = rho / ((1+rho)/theta + rho/mu) ~ 16 MB/s at scale 1."""
+        env = StagingEnvironment()
+        tau = env.rho / (
+            (1 + env.rho) / env.network_write_bps + env.rho / env.disk_write_bps
+        )
+        assert 14e6 < tau < 18e6
+
+    def test_null_read_baseline_matches_fig4(self):
+        env = StagingEnvironment()
+        tau = env.rho / (
+            (1 + env.rho) / env.network_read_bps + env.rho / env.disk_read_bps
+        )
+        assert 100e6 < tau < 150e6
+
+
+class TestScaling:
+    def test_scale_multiplies_rates(self):
+        base = jaguar_like_environment(1.0)
+        half = jaguar_like_environment(0.5)
+        assert half.network_write_bps == pytest.approx(base.network_write_bps / 2)
+        assert half.disk_read_bps == pytest.approx(base.disk_read_bps / 2)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            jaguar_like_environment(0.0)
+
+    def test_measure_reference_throughput(self, smooth_doubles):
+        bps = measure_reference_throughput(get_codec("pylzo"), smooth_doubles)
+        assert bps > 0
+
+    def test_measure_rejects_empty(self):
+        with pytest.raises(ValueError):
+            measure_reference_throughput(get_codec("null"), b"")

@@ -1,0 +1,83 @@
+"""Tests for pipelined (double-buffered) staging writes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_codec
+from repro.iosim import (
+    CodecStrategy,
+    NullStrategy,
+    StagingEnvironment,
+    StagingSimulator,
+    simulate_write_pipelined,
+)
+
+_ENV = StagingEnvironment(
+    rho=4,
+    network_write_bps=5e6,
+    network_read_bps=20e6,
+    disk_write_bps=5e6,
+    disk_read_bps=40e6,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(6)
+    vals = np.cumsum(rng.normal(0, 0.01, 32768)) + 3
+    m, e = np.frexp(vals)
+    return np.ldexp(np.round(m * 2**18) / 2**18, e).astype("<f8").tobytes()
+
+
+class TestPipelinedWrite:
+    def test_null_strategy_is_pure_io(self, dataset):
+        sim = StagingSimulator(_ENV)
+        run = simulate_write_pipelined(sim, dataset, NullStrategy(), 4)
+        assert run.bottleneck == "io"
+        assert run.compute_hidden
+
+    def test_makespan_formula(self, dataset):
+        sim = StagingSimulator(_ENV)
+        run = simulate_write_pipelined(
+            sim, dataset, CodecStrategy(get_codec("pylzo")), 3
+        )
+        r = run.step_result
+        steady = max(r.t_compute, r.t_transfer + r.t_disk)
+        expected = r.t_compute + 2 * steady + (r.t_transfer + r.t_disk)
+        assert run.makespan == pytest.approx(expected)
+
+    def test_pipelining_never_slower_than_bsp(self, dataset):
+        sim = StagingSimulator(_ENV)
+        strat = CodecStrategy(get_codec("pylzo"))
+        n = 5
+        run = simulate_write_pipelined(sim, dataset, strat, n)
+        bsp_result = sim.simulate_write(dataset, strat)
+        bsp_makespan = n * bsp_result.t_total
+        assert run.makespan <= bsp_makespan * 1.05
+
+    def test_compression_gain_amplified_by_overlap(self, dataset):
+        """With compute hidden, the payload reduction is pure profit."""
+        sim = StagingSimulator(_ENV)
+        n = 8
+        null_run = simulate_write_pipelined(sim, dataset, NullStrategy(), n)
+        lzo_run = simulate_write_pipelined(
+            sim, dataset, CodecStrategy(get_codec("pylzo")), n
+        )
+        if lzo_run.compute_hidden:
+            # Speedup approaches 1/compressed_fraction at steady state.
+            speedup = lzo_run.throughput_bps / null_run.throughput_bps
+            inv_fraction = 1.0 / lzo_run.step_result.compressed_fraction
+            assert speedup == pytest.approx(inv_fraction, rel=0.2)
+
+    def test_single_step_equals_bsp(self, dataset):
+        sim = StagingSimulator(_ENV)
+        strat = CodecStrategy(get_codec("pylzo"))
+        run = simulate_write_pipelined(sim, dataset, strat, 1)
+        assert run.makespan == pytest.approx(run.step_result.t_total)
+
+    def test_step_count_validation(self, dataset):
+        sim = StagingSimulator(_ENV)
+        with pytest.raises(ValueError):
+            simulate_write_pipelined(sim, dataset, NullStrategy(), 0)

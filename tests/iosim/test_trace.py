@@ -1,0 +1,92 @@
+"""Tests for the I/O timeline tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_codec
+from repro.iosim import (
+    CodecStrategy,
+    NullStrategy,
+    Span,
+    StagingEnvironment,
+    StagingSimulator,
+    Timeline,
+    timeline_from_result,
+)
+
+_ENV = StagingEnvironment(
+    rho=3,
+    network_write_bps=10e6,
+    network_read_bps=40e6,
+    disk_write_bps=10e6,
+    disk_read_bps=60e6,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(4)
+    vals = np.cumsum(rng.normal(0, 0.01, 16384)) + 5
+    m, e = np.frexp(vals)
+    return np.ldexp(np.round(m * 2**18) / 2**18, e).astype("<f8").tobytes()
+
+
+class TestSpanTimeline:
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            Span(lane="a", label="x", start=2.0, end=1.0)
+
+    def test_makespan(self):
+        tl = Timeline()
+        tl.add("a", "x", 0.0, 1.0)
+        tl.add("b", "y", 0.5, 3.0)
+        assert tl.makespan == 3.0
+        assert tl.lanes() == ["a", "b"]
+
+    def test_empty_render(self):
+        assert "empty" in Timeline().render()
+
+    def test_render_shape(self):
+        tl = Timeline()
+        tl.add("node0", "compress", 0.0, 1.0)
+        tl.add("disk", "write", 1.0, 2.0)
+        text = tl.render(width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3  # two lanes + axis
+        assert "#" in lines[0] and "#" in lines[1]
+
+
+class TestTimelineFromResult:
+    def test_write_stage_order(self, dataset):
+        sim = StagingSimulator(_ENV)
+        result = sim.simulate_write(
+            dataset, CodecStrategy(get_codec("pylzo"))
+        )
+        tl = timeline_from_result(result)
+        lanes = tl.lanes()
+        assert any(l.startswith("node") for l in lanes)
+        assert "network" in lanes and "disk" in lanes
+        net = next(s for s in tl.spans if s.lane == "network")
+        disk = next(s for s in tl.spans if s.lane == "disk")
+        # BSP ordering: transfer starts at the compute barrier, disk after.
+        assert net.start == pytest.approx(result.t_compute)
+        assert disk.start == pytest.approx(net.end)
+        assert tl.makespan == pytest.approx(result.t_total)
+
+    def test_read_stage_order(self, dataset):
+        sim = StagingSimulator(_ENV)
+        result = sim.simulate_read(dataset, CodecStrategy(get_codec("pylzo")))
+        tl = timeline_from_result(result)
+        disk = next(s for s in tl.spans if s.lane == "disk")
+        net = next(s for s in tl.spans if s.lane == "network")
+        assert disk.start == 0.0
+        assert net.start == pytest.approx(disk.end)
+        assert tl.makespan == pytest.approx(result.t_total)
+
+    def test_null_strategy_has_no_compute_lanes(self, dataset):
+        sim = StagingSimulator(_ENV)
+        result = sim.simulate_write(dataset, NullStrategy())
+        tl = timeline_from_result(result)
+        assert all(not l.startswith("node") for l in tl.lanes())

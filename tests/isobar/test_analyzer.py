@@ -1,0 +1,105 @@
+"""Tests for the ISOBAR analyzer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isobar import IsobarAnalyzer, IsobarConfig
+
+
+def _matrix(*columns: np.ndarray) -> np.ndarray:
+    return np.column_stack(columns).astype(np.uint8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(10)
+
+
+class TestClassification:
+    def test_constant_column_is_compressible(self, rng):
+        const = np.zeros(8192, dtype=np.uint8)
+        noise = rng.integers(0, 256, 8192, dtype=np.uint8)
+        analysis = IsobarAnalyzer().analyze(_matrix(const, noise))
+        assert analysis.reports[0].compressible
+        assert not analysis.reports[1].compressible
+
+    def test_skewed_column_is_compressible(self, rng):
+        skewed = rng.zipf(2.0, 8192).clip(0, 255).astype(np.uint8)
+        analysis = IsobarAnalyzer().analyze(_matrix(skewed))
+        assert analysis.reports[0].compressible
+
+    def test_uniform_column_is_incompressible(self, rng):
+        uniform = rng.integers(0, 256, 8192, dtype=np.uint8)
+        analysis = IsobarAnalyzer().analyze(_matrix(uniform))
+        assert not analysis.reports[0].compressible
+
+    def test_compressible_fraction(self, rng):
+        cols = [np.zeros(4096, dtype=np.uint8)] * 3 + [
+            rng.integers(0, 256, 4096, dtype=np.uint8)
+        ]
+        analysis = IsobarAnalyzer().analyze(_matrix(*cols))
+        assert analysis.compressible_fraction == pytest.approx(0.75)
+
+    def test_column_sets_partition(self, rng):
+        cols = [
+            np.zeros(4096, dtype=np.uint8),
+            rng.integers(0, 256, 4096, dtype=np.uint8),
+            np.full(4096, 7, dtype=np.uint8),
+        ]
+        analysis = IsobarAnalyzer().analyze(_matrix(*cols))
+        comp = set(analysis.compressible_columns.tolist())
+        incomp = set(analysis.incompressible_columns.tolist())
+        assert comp | incomp == {0, 1, 2}
+        assert comp & incomp == set()
+
+
+class TestSampling:
+    def test_small_input_not_sampled(self):
+        m = np.zeros((100, 2), dtype=np.uint8)
+        sampled = IsobarAnalyzer().sample(m)
+        assert sampled.shape[0] == 100
+
+    def test_large_input_sampled_to_budget(self):
+        cfg = IsobarConfig(sample_rows=512)
+        m = np.zeros((100000, 2), dtype=np.uint8)
+        sampled = IsobarAnalyzer(cfg).sample(m)
+        assert sampled.shape[0] == 512
+
+    def test_sampling_is_deterministic(self, rng):
+        m = rng.integers(0, 256, (50000, 3), dtype=np.uint8)
+        a = IsobarAnalyzer().sample(m)
+        b = IsobarAnalyzer().sample(m)
+        assert np.array_equal(a, b)
+
+    def test_sampled_verdict_matches_full_scan(self, rng):
+        # A strongly skewed column must classify the same under sampling.
+        col = rng.zipf(3.0, 200000).clip(0, 255).astype(np.uint8)
+        full = IsobarAnalyzer(IsobarConfig(sample_rows=10**9)).analyze(
+            _matrix(col)
+        )
+        sampled = IsobarAnalyzer(IsobarConfig(sample_rows=2048)).analyze(
+            _matrix(col)
+        )
+        assert (
+            full.reports[0].compressible == sampled.reports[0].compressible
+        )
+
+
+class TestValidation:
+    def test_rejects_non_uint8(self):
+        with pytest.raises(ValueError):
+            IsobarAnalyzer().analyze(np.zeros((4, 4), dtype=np.int32))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            IsobarAnalyzer().analyze(np.zeros(16, dtype=np.uint8))
+
+    def test_report_metadata(self, rng):
+        m = rng.integers(0, 4, (1000, 2), dtype=np.uint8)
+        analysis = IsobarAnalyzer().analyze(m)
+        assert analysis.n_rows == 1000
+        assert analysis.n_cols == 2
+        assert all(r.entropy_bits >= 0 for r in analysis.reports)
+        assert all(0 <= r.top_byte_fraction <= 1 for r in analysis.reports)

@@ -1,0 +1,114 @@
+"""Tests for the ISOBAR partitioner container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CodecError, get_codec
+from repro.isobar import IsobarPartitioner
+
+
+@pytest.fixture
+def partitioner():
+    return IsobarPartitioner(get_codec("pyzlib"))
+
+
+def _mixed_matrix(n_rows: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [
+            np.zeros(n_rows, dtype=np.uint8),  # compressible
+            rng.integers(0, 256, n_rows, dtype=np.uint8),  # incompressible
+            rng.zipf(2.5, n_rows).clip(0, 255).astype(np.uint8),  # skewed
+            rng.integers(0, 256, n_rows, dtype=np.uint8),  # incompressible
+        ]
+    )
+
+
+class TestRoundtrip:
+    def test_mixed_matrix(self, partitioner):
+        m = _mixed_matrix(5000)
+        blob = partitioner.compress(m)
+        assert np.array_equal(partitioner.decompress(blob), m)
+
+    def test_all_compressible(self, partitioner):
+        m = np.zeros((1000, 6), dtype=np.uint8)
+        blob = partitioner.compress(m)
+        assert np.array_equal(partitioner.decompress(blob), m)
+        assert len(blob) < m.size / 10
+
+    def test_all_incompressible(self, partitioner):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 256, (4096, 6), dtype=np.uint8)
+        blob = partitioner.compress(m)
+        assert np.array_equal(partitioner.decompress(blob), m)
+        # Raw group dominates; near-zero overhead.
+        assert len(blob) <= m.size + 64
+
+    def test_single_row(self, partitioner):
+        m = np.array([[1, 2, 3]], dtype=np.uint8)
+        assert np.array_equal(partitioner.decompress(partitioner.compress(m)), m)
+
+    def test_zero_columns(self, partitioner):
+        m = np.zeros((10, 0), dtype=np.uint8)
+        out = partitioner.decompress(partitioner.compress(m))
+        assert out.shape == (10, 0)
+
+    @given(
+        n_rows=st.integers(1, 300),
+        n_cols=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 256, (n_rows, n_cols), dtype=np.uint8)
+        partitioner = IsobarPartitioner(get_codec("pyzlib"))
+        assert np.array_equal(partitioner.decompress(partitioner.compress(m)), m)
+
+
+class TestBehaviour:
+    def test_avoids_compressing_noise(self):
+        """The ISOBAR claim: skipping incompressible columns is faster."""
+        import time
+
+        rng = np.random.default_rng(2)
+        m = rng.integers(0, 256, (40000, 6), dtype=np.uint8)
+        part = IsobarPartitioner(get_codec("pyzlib"))
+        t0 = time.perf_counter()
+        part.compress(m)
+        t_isobar = time.perf_counter() - t0
+
+        codec = get_codec("pyzlib")
+        t0 = time.perf_counter()
+        codec.compress(np.ascontiguousarray(m.T).tobytes())
+        t_vanilla = time.perf_counter() - t0
+        assert t_isobar < t_vanilla
+
+    def test_measured_alpha_sigma(self):
+        part = IsobarPartitioner(get_codec("pyzlib"))
+        m = _mixed_matrix(8192)
+        alpha2, sigma_lo = part.measured_alpha_sigma(m)
+        assert 0.0 < alpha2 < 1.0
+        assert 0.0 < sigma_lo <= 1.1
+
+    def test_alpha_sigma_empty(self):
+        part = IsobarPartitioner(get_codec("pyzlib"))
+        alpha2, sigma_lo = part.measured_alpha_sigma(
+            np.zeros((0, 6), dtype=np.uint8)
+        )
+        assert alpha2 == 0.0 and sigma_lo == 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_dtype(self, partitioner):
+        with pytest.raises(ValueError):
+            partitioner.compress(np.zeros((4, 4), dtype=np.float64))
+
+    def test_truncated_container(self, partitioner):
+        blob = partitioner.compress(_mixed_matrix(2000))
+        with pytest.raises((CodecError, ValueError)):
+            partitioner.decompress(blob[: len(blob) // 3])

@@ -1,0 +1,83 @@
+"""Tests for machine-parameter fitting from observed runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iosim import NullStrategy, StagingEnvironment, StagingSimulator
+from repro.model import (
+    fit_machine,
+    fit_model_inputs,
+    fit_rate,
+    predict_base_write,
+)
+
+
+class TestFitRate:
+    def test_exact_line(self):
+        rate = 5e6
+        samples = [(n, n / rate) for n in (1e6, 2e6, 8e6)]
+        assert fit_rate(samples) == pytest.approx(rate)
+
+    def test_noisy_samples(self):
+        rng = np.random.default_rng(0)
+        rate = 3e6
+        samples = [
+            (n, n / rate * (1 + 0.05 * rng.standard_normal()))
+            for n in rng.uniform(1e5, 1e7, 50)
+        ]
+        assert fit_rate(samples) == pytest.approx(rate, rel=0.05)
+
+    def test_zero_time_is_infinite_rate(self):
+        assert fit_rate([(100.0, 0.0)]) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_rate([])
+        with pytest.raises(ValueError):
+            fit_rate([(-1.0, 1.0)])
+
+
+class TestFitMachine:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return StagingEnvironment(
+            rho=8,
+            network_write_bps=12e6,
+            network_read_bps=40e6,
+            disk_write_bps=20e6,
+            disk_read_bps=60e6,
+        )
+
+    @pytest.fixture(scope="class")
+    def observations(self, env):
+        rng = np.random.default_rng(1)
+        sim = StagingSimulator(env)
+        results = []
+        for n in (16384, 32768, 65536):
+            data = rng.normal(0, 1, n).astype("<f8").tobytes()
+            results.append(sim.simulate_write(data, NullStrategy()))
+        return results
+
+    def test_recovers_environment_rates(self, env, observations):
+        fit = fit_machine(observations)
+        assert fit.network_bps == pytest.approx(env.network_write_bps, rel=0.01)
+        assert fit.disk_bps == pytest.approx(env.disk_write_bps, rel=0.01)
+        assert fit.compute_bps == float("inf")  # null strategy: no compute
+        assert fit.residual < 0.01
+
+    def test_fitted_inputs_predict_observed_throughput(self, env, observations):
+        inputs = fit_model_inputs(
+            observations,
+            chunk_bytes=observations[-1].original_bytes / env.rho,
+            rho=env.rho,
+        )
+        predicted = predict_base_write(inputs).throughput_bps(inputs)
+        assert predicted == pytest.approx(
+            observations[-1].throughput_bps, rel=0.02
+        )
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError):
+            fit_machine([])

@@ -1,0 +1,66 @@
+"""Tests for the parallel chunk compressor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IndexReusePolicy, PrimacyCompressor, PrimacyConfig
+from repro.datasets import generate_bytes
+from repro.parallel import ParallelCompressor
+
+
+@pytest.fixture(scope="module")
+def payload() -> bytes:
+    return generate_bytes("obs_temp", 24000, seed=6) + b"zz"
+
+
+class TestParallelCompressor:
+    def test_output_identical_to_serial(self, payload):
+        cfg = PrimacyConfig(chunk_bytes=16 * 1024)
+        serial_out, serial_stats = PrimacyCompressor(cfg).compress(payload)
+        parallel_out, parallel_stats = ParallelCompressor(
+            cfg, workers=2
+        ).compress(payload)
+        assert parallel_out == serial_out
+        assert parallel_stats.compression_ratio == pytest.approx(
+            serial_stats.compression_ratio
+        )
+
+    def test_decompressible_by_serial(self, payload):
+        cfg = PrimacyConfig(chunk_bytes=16 * 1024)
+        out, _ = ParallelCompressor(cfg, workers=2).compress(payload)
+        assert PrimacyCompressor(cfg).decompress(out) == payload
+
+    def test_single_chunk_runs_inline(self, payload):
+        cfg = PrimacyConfig(chunk_bytes=1 << 20)
+        out, stats = ParallelCompressor(cfg, workers=4).compress(payload)
+        assert len(stats.chunks) == 1
+        assert PrimacyCompressor(cfg).decompress(out) == payload
+
+    def test_one_worker_runs_inline(self, payload):
+        cfg = PrimacyConfig(chunk_bytes=8 * 1024)
+        out, _ = ParallelCompressor(cfg, workers=1).compress(payload)
+        assert PrimacyCompressor(cfg).decompress(out) == payload
+
+    def test_empty_input(self):
+        cfg = PrimacyConfig(chunk_bytes=8 * 1024)
+        out, stats = ParallelCompressor(cfg).compress(b"")
+        assert PrimacyCompressor(cfg).decompress(out) == b""
+        assert stats.original_bytes == 0
+
+    def test_rejects_reuse_policies(self):
+        for policy in (IndexReusePolicy.FIRST_CHUNK, IndexReusePolicy.CORRELATED):
+            with pytest.raises(ValueError, match="PER_CHUNK"):
+                ParallelCompressor(
+                    PrimacyConfig(index_policy=policy)
+                )
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelCompressor(workers=0)
+
+    def test_stats_aggregate_all_chunks(self, payload):
+        cfg = PrimacyConfig(chunk_bytes=8 * 1024)
+        _, stats = ParallelCompressor(cfg, workers=2).compress(payload)
+        usable = len(payload) - len(payload) % 8
+        assert sum(c.n_values * 8 for c in stats.chunks) == usable

@@ -1,0 +1,92 @@
+"""Stateful property test: the PRIF writer/reader as a state machine.
+
+Hypothesis drives arbitrary interleavings of writes (varied sizes and
+content classes) followed by arbitrary reads; the file must always agree
+with an in-memory reference buffer.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import PrimacyConfig
+from repro.storage import PrimacyFileReader, PrimacyFileWriter
+
+
+class PrifMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.buffer = io.BytesIO()
+        self.writer = PrimacyFileWriter(
+            self.buffer, PrimacyConfig(chunk_bytes=4096)
+        )
+        self.reference = bytearray()
+        self.reader = None
+        self.rng = np.random.default_rng(0)
+
+    # -- write phase -------------------------------------------------------
+
+    @precondition(lambda self: self.reader is None)
+    @rule(n_values=st.integers(0, 600), kind=st.sampled_from(["smooth", "noise", "zeros"]))
+    def write_values(self, n_values, kind):
+        if kind == "smooth":
+            vals = np.cumsum(self.rng.normal(0, 0.01, n_values)) + 10
+            data = vals.astype("<f8").tobytes()
+        elif kind == "noise":
+            data = self.rng.bytes(n_values * 8)
+        else:
+            data = b"\x00" * (n_values * 8)
+        self.writer.write(data)
+        self.reference += data
+
+    @precondition(lambda self: self.reader is None)
+    @rule(n_bytes=st.integers(1, 7))
+    def write_unaligned(self, n_bytes):
+        data = self.rng.bytes(n_bytes)
+        self.writer.write(data)
+        self.reference += data
+
+    @precondition(lambda self: self.reader is None)
+    @rule()
+    def finalize(self):
+        self.writer.close()
+        self.reader = PrimacyFileReader(io.BytesIO(self.buffer.getvalue()))
+
+    # -- read phase --------------------------------------------------------
+
+    @precondition(lambda self: self.reader is not None)
+    @rule(frac=st.floats(0, 1), count=st.integers(0, 500))
+    def read_range(self, frac, count):
+        n = self.reader.n_values
+        start = int(frac * n) if n else 0
+        count = min(count, n - start)
+        expected = bytes(self.reference[start * 8 : (start + count) * 8])
+        assert self.reader.read_values(start, count) == expected
+
+    @precondition(lambda self: self.reader is not None)
+    @rule()
+    def read_everything(self):
+        assert self.reader.read_all() == bytes(self.reference)
+
+    @invariant()
+    def reference_is_consistent(self):
+        if self.reader is not None:
+            word_aligned = len(self.reference) - len(self.reference) % 8
+            assert self.reader.n_values == word_aligned // 8
+
+
+PrifMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestPrifStateful = PrifMachine.TestCase

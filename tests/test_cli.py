@@ -1,0 +1,184 @@
+"""Tests for the primacy CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import generate_bytes
+
+
+@pytest.fixture
+def f64_file(tmp_path):
+    path = tmp_path / "data.f64"
+    path.write_bytes(generate_bytes("obs_temp", 4096, seed=1))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_defaults(self):
+        args = build_parser().parse_args(["compress", "a", "b"])
+        assert args.codec == "pyzlib"
+        assert args.chunk_bytes == 3 * 1024 * 1024
+        assert args.linearization == "column"
+
+
+class TestCommands:
+    def test_compress_decompress_roundtrip(self, f64_file, tmp_path, capsys):
+        pri = tmp_path / "data.pri"
+        out = tmp_path / "data.out"
+        assert main(["compress", str(f64_file), str(pri),
+                     "--chunk-bytes", "16384"]) == 0
+        assert "CR=" in capsys.readouterr().out
+        assert main(["decompress", str(pri), str(out)]) == 0
+        assert out.read_bytes() == f64_file.read_bytes()
+
+    def test_compress_with_options(self, f64_file, tmp_path):
+        pri = tmp_path / "o.pri"
+        out = tmp_path / "o.out"
+        assert main([
+            "compress", str(f64_file), str(pri),
+            "--codec", "pylzo", "--linearization", "row",
+            "--index-policy", "first_chunk", "--chunk-bytes", "8192",
+        ]) == 0
+        assert main(["decompress", str(pri), str(out)]) == 0
+        assert out.read_bytes() == f64_file.read_bytes()
+
+    def test_analyze(self, f64_file, capsys):
+        assert main(["analyze", str(f64_file)]) == 0
+        out = capsys.readouterr().out
+        assert "repeatability gain" in out
+        assert "unique exponent pairs" in out
+
+    def test_analyze_too_small(self, tmp_path, capsys):
+        path = tmp_path / "tiny"
+        path.write_bytes(b"abc")
+        assert main(["analyze", str(path)]) == 1
+
+    def test_codecs_lists_registry(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        assert "pyzlib" in out and "primacy" in out
+
+    def test_datasets_list(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "msg_sppm" in out
+        assert len(out.strip().splitlines()) == 20
+
+    def test_datasets_write(self, tmp_path, capsys):
+        assert main(["datasets", "--write", str(tmp_path / "d"),
+                     "--n-values", "64"]) == 0
+        files = list((tmp_path / "d").glob("*.f64"))
+        assert len(files) == 20
+        assert all(f.stat().st_size == 64 * 8 for f in files)
+
+    def test_model(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "base write" in out
+        assert "primacy write" in out
+
+    def test_error_reported(self, tmp_path, capsys):
+        missing = tmp_path / "missing.f64"
+        assert main(["compress", str(missing), str(tmp_path / "x")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStorageCommands:
+    @pytest.fixture
+    def prif_file(self, f64_file, tmp_path):
+        out = tmp_path / "data.prif"
+        assert main(["pack", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        return out
+
+    def test_pack_reports_stats(self, f64_file, tmp_path, capsys):
+        out = tmp_path / "p.prif"
+        assert main(["pack", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        assert "CR=" in capsys.readouterr().out
+
+    def test_inspect(self, prif_file, capsys):
+        assert main(["inspect", str(prif_file)]) == 0
+        out = capsys.readouterr().out
+        assert "chunks:" in out
+        assert "inline" in out
+
+    def test_extract_range(self, prif_file, f64_file, tmp_path, capsys):
+        out = tmp_path / "slice.f64"
+        assert main(["extract", str(prif_file), str(out),
+                     "--start", "100", "--count", "50"]) == 0
+        orig = f64_file.read_bytes()
+        assert out.read_bytes() == orig[100 * 8 : 150 * 8]
+
+    def test_extract_whole(self, prif_file, f64_file, tmp_path):
+        out = tmp_path / "all.f64"
+        assert main(["extract", str(prif_file), str(out)]) == 0
+        orig = f64_file.read_bytes()
+        usable = len(orig) - len(orig) % 8
+        assert out.read_bytes() == orig[:usable]
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "obs_temp", "--n-values", "1024"]) == 0
+        assert "# Dataset report" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", "num_plasma", "--n-values", "1024",
+                     "--output", str(out)]) == 0
+        assert "Codec comparison" in out.read_text()
+
+    def test_report_unknown(self, capsys):
+        assert main(["report", "bogus"]) == 1
+
+
+class TestVerifyCommand:
+    def test_verify_prif(self, f64_file, tmp_path, capsys):
+        out = tmp_path / "v.prif"
+        assert main(["pack", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 0
+        assert "PRIF ok" in capsys.readouterr().out
+
+    def test_verify_prim(self, f64_file, tmp_path, capsys):
+        out = tmp_path / "v.pri"
+        assert main(["compress", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 0
+        assert "PRIM ok" in capsys.readouterr().out
+
+    def test_verify_corrupted_fails(self, f64_file, tmp_path, capsys):
+        out = tmp_path / "c.pri"
+        assert main(["compress", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        blob = bytearray(out.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        out.write_bytes(bytes(blob))
+        assert main(["verify", str(out)]) == 1
+
+    def test_verify_not_a_container(self, tmp_path, capsys):
+        bad = tmp_path / "x.bin"
+        bad.write_bytes(b"not a container at all")
+        assert main(["verify", str(bad)]) == 1
+
+
+class TestProbeCommand:
+    def test_probe_output(self, f64_file, capsys):
+        assert main(["probe", str(f64_file)]) == 0
+        out = capsys.readouterr().out
+        assert "PRIMACY:" in out
+        assert "hard-to-compress" in out
+
+    def test_probe_with_verdict(self, f64_file, capsys):
+        assert main(["probe", str(f64_file), "--network-mbps", "0.01"]) == 0
+        assert "COMPRESS" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Tests for repro.util.bitio: bit packing/unpacking invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitio import BitReader, BitWriter, pack_bits, unpack_bits
+
+
+def _reference_pack(codes, lengths) -> bytes:
+    """Bit-by-bit reference implementation (slow, obviously correct)."""
+    bits = []
+    for code, length in zip(codes, lengths):
+        for j in range(length - 1, -1, -1):
+            bits.append((code >> j) & 1)
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for b in bits[i : i + 8]:
+            byte = (byte << 1) | b
+        byte <<= max(0, 8 - len(bits[i : i + 8]))
+        out.append(byte)
+    return bytes(out)
+
+
+class TestPackBits:
+    def test_empty(self):
+        assert pack_bits(np.zeros(0, np.uint64), np.zeros(0, np.int64)) == b""
+
+    def test_single_byte_alignment(self):
+        out = pack_bits(np.array([0b1011], np.uint64), np.array([4], np.int64))
+        assert out == bytes([0b10110000])
+
+    def test_multibyte_codeword(self):
+        out = pack_bits(np.array([0x1FF], np.uint64), np.array([9], np.int64))
+        assert out == bytes([0xFF, 0x80])
+
+    def test_zero_length_codes_are_skipped(self):
+        codes = np.array([0b1, 0b0, 0b1], np.uint64)
+        lengths = np.array([1, 0, 1], np.int64)
+        assert pack_bits(codes, lengths) == bytes([0b11000000])
+
+    def test_matches_reference_on_mixed_lengths(self):
+        rng = np.random.default_rng(5)
+        lengths = rng.integers(1, 24, 500)
+        codes = np.array(
+            [rng.integers(0, 1 << l) for l in lengths], dtype=np.uint64
+        )
+        assert pack_bits(codes, lengths.astype(np.int64)) == _reference_pack(
+            codes.tolist(), lengths.tolist()
+        )
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(3, np.uint64), np.zeros(2, np.int64))
+
+    def test_rejects_overlong_codes(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1], np.uint64), np.array([60], np.int64))
+
+    def test_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1], np.uint64), np.array([-1], np.int64))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, (1 << 20) - 1)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_reference(self, pairs):
+        lengths = np.array([l for l, _ in pairs], dtype=np.int64)
+        codes = np.array(
+            [c & ((1 << l) - 1) if l else 0 for l, c in pairs], dtype=np.uint64
+        )
+        assert pack_bits(codes, lengths) == _reference_pack(
+            codes.tolist(), lengths.tolist()
+        )
+
+
+class TestUnpackBits:
+    def test_roundtrip_with_packbits(self):
+        data = bytes([0b10110010, 0b01000000])
+        bits = unpack_bits(data)
+        assert bits.tolist() == [1, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0]
+
+    def test_nbits_truncation(self):
+        assert unpack_bits(b"\xff", nbits=3).tolist() == [1, 1, 1]
+
+    def test_nbits_too_large_raises(self):
+        with pytest.raises(ValueError):
+            unpack_bits(b"\xff", nbits=9)
+
+
+class TestBitWriterReader:
+    def test_roundtrip_scalar_writes(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b1, 1)
+        w.write(0xAB, 8)
+        data = w.getvalue()
+        r = BitReader(data)
+        assert r.read(3) == 0b101
+        assert r.read(1) == 0b1
+        assert r.read(8) == 0xAB
+
+    def test_bit_length_tracks_writes(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.write_array(np.array([3, 7], np.uint64), np.array([2, 3], np.int64))
+        assert w.bit_length == 6
+
+    def test_write_rejects_overflowing_code(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0b100, 2)
+
+    def test_reader_eof(self):
+        r = BitReader(b"\xf0")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_reader_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.remaining() == 16
+        r.read(5)
+        assert r.remaining() == 11
+
+    def test_empty_writer(self):
+        assert BitWriter().getvalue() == b""

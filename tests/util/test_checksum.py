@@ -1,0 +1,61 @@
+"""Tests for repro.util.checksum against the zlib reference implementation."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.checksum import adler32, crc32
+
+
+class TestCrc32:
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"a", b"hello world", bytes(range(256)), b"\x00" * 1000],
+    )
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_incremental_matches(self):
+        data = b"the quick brown fox"
+        part = crc32(data[:7])
+        assert crc32(data[7:], part) == zlib.crc32(data)
+
+    def test_ndarray_input(self):
+        arr = np.arange(100, dtype=np.uint8)
+        assert crc32(arr) == zlib.crc32(arr.tobytes())
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+
+class TestAdler32:
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"a", b"Wikipedia", bytes(range(256)) * 10, b"\xff" * 100000],
+    )
+    def test_matches_zlib(self, data):
+        assert adler32(data) == zlib.adler32(data)
+
+    def test_incremental_matches(self):
+        data = bytes(range(256)) * 100
+        part = adler32(data[:1000])
+        assert adler32(data[1000:], part) == zlib.adler32(data)
+
+    def test_large_block_boundary(self):
+        # Exercises the multi-block accumulator path.
+        data = np.random.default_rng(0).integers(
+            0, 256, (1 << 20) + 17, dtype=np.uint8
+        ).tobytes()
+        assert adler32(data) == zlib.adler32(data)
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_zlib(self, data):
+        assert adler32(data) == zlib.adler32(data)

@@ -1,0 +1,97 @@
+"""Tests for repro.util.entropy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.entropy import (
+    bit_position_probability,
+    byte_entropy,
+    byte_histogram,
+    normalized_entropy,
+    top_byte_fraction,
+)
+
+
+class TestByteEntropy:
+    def test_constant_stream_has_zero_entropy(self):
+        assert byte_entropy(b"\x42" * 1000) == 0.0
+
+    def test_uniform_stream_approaches_eight_bits(self):
+        data = bytes(range(256)) * 64
+        assert byte_entropy(data) == pytest.approx(8.0)
+
+    def test_two_symbol_stream(self):
+        assert byte_entropy(b"ab" * 500) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert byte_entropy(b"") == 0.0
+
+    def test_normalized_entropy_range(self):
+        data = np.random.default_rng(0).integers(0, 256, 4096, dtype=np.uint8)
+        assert 0.9 < normalized_entropy(data.tobytes()) <= 1.0
+
+    def test_accepts_non_uint8_arrays(self):
+        # float view should hash the underlying bytes.
+        arr = np.ones(100, dtype="<f8")
+        assert byte_entropy(arr) < 2.0
+
+
+class TestHistogramAndTopByte:
+    def test_histogram_counts(self):
+        hist = byte_histogram(b"aabbbc")
+        assert hist[ord("a")] == 2
+        assert hist[ord("b")] == 3
+        assert hist[ord("c")] == 1
+        assert hist.sum() == 6
+
+    def test_top_byte_fraction(self):
+        assert top_byte_fraction(b"aaab") == pytest.approx(0.75)
+
+    def test_top_byte_empty(self):
+        assert top_byte_fraction(b"") == 0.0
+
+
+class TestBitPositionProbability:
+    def test_all_zero_words(self):
+        vals = np.zeros(100, dtype="<f8")
+        probs = bit_position_probability(vals)
+        assert probs.shape == (64,)
+        assert np.all(probs == 1.0)
+
+    def test_sign_bit_position_zero(self):
+        # Big-endian bit 0 must be the float64 sign bit.
+        vals = np.full(64, -1.0)
+        probs_neg = bit_position_probability(vals)
+        vals_pos = np.full(64, 1.0)
+        probs_pos = bit_position_probability(vals_pos)
+        assert probs_neg[0] == 1.0 and probs_pos[0] == 1.0
+        # Mixed signs make the sign bit a coin flip.
+        mixed = np.concatenate([vals, vals_pos])
+        assert bit_position_probability(mixed)[0] == pytest.approx(0.5)
+
+    def test_random_mantissa_is_coinflip(self):
+        rng = np.random.default_rng(0)
+        # Fixed sign/exponent, fully random 52-bit mantissas.
+        bits = rng.integers(0, 1 << 52, 50000, dtype=np.uint64)
+        vals = (bits | np.uint64(0x3FF0000000000000)).view("<f8")
+        probs = bit_position_probability(vals)
+        assert np.all(probs[:12] > 0.99)  # sign+exponent constant
+        assert np.all(probs[-32:] < 0.52)  # mantissa tail random
+
+    def test_raw_bytes_require_word_size(self):
+        with pytest.raises(ValueError):
+            bit_position_probability(np.zeros(16, dtype=np.uint8))
+
+    def test_raw_bytes_with_word_size(self):
+        probs = bit_position_probability(np.zeros(16, dtype=np.uint8), word_bytes=4)
+        assert probs.shape == (32,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bit_position_probability(np.zeros(0, dtype="<f8"))
+
+    def test_misaligned_bytes_raise(self):
+        with pytest.raises(ValueError):
+            bit_position_probability(np.zeros(7, dtype=np.uint8), word_bytes=4)

@@ -1,0 +1,53 @@
+"""Tests for repro.util.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.timing import ThroughputTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates_across_entries(self):
+        t = Timer()
+        for _ in range(2):
+            with t:
+                time.sleep(0.005)
+        assert t.elapsed >= 0.009
+
+
+class TestThroughputTimer:
+    def test_mb_per_s(self):
+        t = ThroughputTimer()
+        t.add(2_000_000, 1.0)
+        assert t.mb_per_s == pytest.approx(2.0)
+        assert t.bytes_per_s == pytest.approx(2_000_000)
+
+    def test_accumulates_samples(self):
+        t = ThroughputTimer()
+        t.add(100, 0.5)
+        t.add(300, 0.5)
+        assert t.samples == 2
+        assert t.total_bytes == 400
+        assert t.bytes_per_s == pytest.approx(400)
+
+    def test_zero_time_is_zero_rate(self):
+        assert ThroughputTimer().mb_per_s == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ThroughputTimer().add(-1, 1.0)
+
+    def test_time_context(self):
+        t = ThroughputTimer()
+        with t.time(1000):
+            time.sleep(0.002)
+        assert t.total_bytes == 1000
+        assert t.total_seconds >= 0.001

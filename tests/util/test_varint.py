@@ -1,0 +1,82 @@
+"""Tests for repro.util.varint."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.varint import (
+    decode_uvarint,
+    decode_uvarint_array,
+    encode_uvarint,
+    encode_uvarint_array,
+)
+
+
+class TestScalar:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (16384, b"\x80\x80\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert encode_uvarint(value) == encoded
+        decoded, pos = decode_uvarint(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\xff" * 11)
+
+    def test_offset_decoding(self):
+        data = b"\xff" + encode_uvarint(300)
+        value, pos = decode_uvarint(data, offset=1)
+        assert value == 300
+        assert pos == len(data)
+
+    @given(st.integers(0, 2**63 - 1))
+    def test_property_roundtrip(self, value):
+        decoded, _ = decode_uvarint(encode_uvarint(value))
+        assert decoded == value
+
+
+class TestArray:
+    def test_roundtrip(self):
+        values = np.array([0, 1, 127, 128, 1 << 40], dtype=np.int64)
+        blob = encode_uvarint_array(values)
+        out, pos = decode_uvarint_array(blob, len(values))
+        assert out.tolist() == values.tolist()
+        assert pos == len(blob)
+
+    def test_empty(self):
+        assert encode_uvarint_array(np.zeros(0, np.int64)) == b""
+        out, pos = decode_uvarint_array(b"", 0)
+        assert out.size == 0 and pos == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint_array(np.array([-5]))
+
+    @given(st.lists(st.integers(0, 2**40), max_size=50))
+    def test_property_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        blob = encode_uvarint_array(arr)
+        out, _ = decode_uvarint_array(blob, len(values))
+        assert out.tolist() == values
