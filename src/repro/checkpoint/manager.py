@@ -17,6 +17,7 @@ checkpoint-every-N-steps pattern the paper targets.
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import os
 from dataclasses import dataclass
@@ -25,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.compressors.base import CodecError
+from repro.core.idmap import IndexReusePolicy
 from repro.core.primacy import PrimacyConfig
 from repro.storage.reader import PrimacyFileReader
 from repro.storage.writer import PrimacyFileWriter
@@ -59,12 +61,23 @@ class VariableMeta:
 
 
 class CheckpointWriter:
-    """Append-only checkpoint writer."""
+    """Append-only checkpoint writer.
+
+    ``workers``/``engine`` enable pipelined segment writes: every
+    variable's chunks are compressed by a shared
+    :class:`repro.parallel.ParallelEngine` while earlier records are
+    being serialized.  One engine serves all variables -- segments with
+    a different word width ride along as per-task config overrides, so
+    the pool never restarts between variables or steps.
+    """
 
     def __init__(
         self,
         target: str | os.PathLike | io.BufferedIOBase,
         config: PrimacyConfig | None = None,
+        *,
+        workers: int | None = None,
+        engine=None,
     ) -> None:
         self.config = config or PrimacyConfig()
         if isinstance(target, (str, os.PathLike)):
@@ -73,6 +86,19 @@ class CheckpointWriter:
         else:
             self._fh = target
             self._owns_fh = False
+        if (
+            engine is not None or workers is not None
+        ) and self.config.index_policy is not IndexReusePolicy.PER_CHUNK:
+            raise ValueError(
+                "pipelined checkpoint writes require the PER_CHUNK index policy"
+            )
+        self._engine = engine
+        self._owns_engine = False
+        if engine is None and workers is not None:
+            from repro.parallel.engine import ParallelEngine
+
+            self._engine = ParallelEngine(self.config, workers=workers)
+            self._owns_engine = True
         self._entries: list[VariableMeta] = []
         self._closed = False
         self._fh.write(_MAGIC + bytes([_VERSION]))
@@ -96,18 +122,13 @@ class CheckpointWriter:
         if array.dtype.itemsize != config.word_bytes:
             # Adjust the pipeline word size to the array's element width.
             high = min(config.high_bytes, max(array.dtype.itemsize - 1, 1))
-            config = PrimacyConfig(
-                codec=config.codec,
-                chunk_bytes=config.chunk_bytes,
+            config = dataclasses.replace(
+                config,
                 word_bytes=array.dtype.itemsize,
                 high_bytes=high,
-                linearization=config.linearization,
-                index_policy=config.index_policy,
-                isobar=config.isobar,
-                checksum=config.checksum,
             )
         segment = io.BytesIO()
-        with PrimacyFileWriter(segment, config) as writer:
+        with PrimacyFileWriter(segment, config, engine=self._engine) as writer:
             writer.write(array.astype(array.dtype.newbyteorder("<")).tobytes())
         blob = segment.getvalue()
         self._fh.write(blob)
@@ -145,6 +166,8 @@ class CheckpointWriter:
         self._fh.write(manifest)
         self._fh.write(len(manifest).to_bytes(8, "little"))
         self._fh.write(_END_MAGIC)
+        if self._owns_engine:
+            self._engine.close()
         if self._owns_fh:
             self._fh.close()
         self._closed = True

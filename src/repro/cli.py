@@ -2,8 +2,8 @@
 
 Subcommands::
 
-    primacy compress   IN OUT [--codec pyzlib] [--chunk-bytes N] ...
-    primacy decompress IN OUT
+    primacy compress   IN OUT [--codec pyzlib] [--chunk-bytes N] [--workers N] ...
+    primacy decompress IN OUT [--workers N]
     primacy analyze    IN            # Fig-1/Fig-3 style statistics
     primacy codecs                   # list registered codecs
     primacy datasets [--write DIR]   # list / materialize synthetic datasets
@@ -40,6 +40,13 @@ from repro.model import (
 __all__ = ["main", "build_parser"]
 
 
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the primacy CLI."""
     parser = argparse.ArgumentParser(
@@ -62,11 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[pol.value for pol in IndexReusePolicy],
         default=IndexReusePolicy.PER_CHUNK.value,
     )
+    p.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="compress chunks with N worker processes (default: serial)",
+    )
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a .pri container")
     p.add_argument("input", type=Path)
     p.add_argument("output", type=Path)
+    p.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="decompress chunk records with N worker processes",
+    )
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("analyze", help="bit/byte statistics of a float64 file")
@@ -104,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-policy",
         choices=[pol.value for pol in IndexReusePolicy],
         default=IndexReusePolicy.PER_CHUNK.value,
+    )
+    p.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="overlap chunk compression with file writes using N workers",
     )
     p.set_defaults(func=_cmd_pack)
 
@@ -163,8 +182,14 @@ def _make_config(args: argparse.Namespace) -> PrimacyConfig:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = args.input.read_bytes()
-    compressor = PrimacyCompressor(_make_config(args))
-    out, stats = compressor.compress(data)
+    config = _make_config(args)
+    if args.workers > 1:
+        from repro.parallel import ParallelCompressor
+
+        with ParallelCompressor(config, workers=args.workers) as compressor:
+            out, stats = compressor.compress(data)
+    else:
+        out, stats = PrimacyCompressor(config).compress(data)
     args.output.write_bytes(out)
     print(
         f"{len(data)} -> {len(out)} bytes  "
@@ -177,8 +202,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     data = args.input.read_bytes()
-    compressor = PrimacyCompressor()
-    out = compressor.decompress(data)
+    if args.workers > 1:
+        from repro.parallel import ParallelDecompressor
+
+        with ParallelDecompressor(workers=args.workers) as decompressor:
+            out = decompressor.decompress(data)
+    else:
+        out = PrimacyCompressor().decompress(data)
     args.output.write_bytes(out)
     print(f"{len(data)} -> {len(out)} bytes")
     return 0
@@ -267,7 +297,8 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         index_policy=IndexReusePolicy(args.index_policy),
     )
     data = args.input.read_bytes()
-    with PrimacyFileWriter(args.output, config) as writer:
+    workers = args.workers if args.workers > 1 else None
+    with PrimacyFileWriter(args.output, config, workers=workers) as writer:
         writer.write(data)
     stats = writer.stats
     print(f"{len(data)} -> {stats.container_bytes} bytes  "

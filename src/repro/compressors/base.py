@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import abc
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,6 +59,11 @@ class Codec(abc.ABC):
     #: Registry name; subclasses override.
     name: str = "abstract"
 
+    #: Whether :func:`get_codec` may hand out one shared instance for
+    #: identical ``(name, options)``.  Codecs that keep per-call state
+    #: on the instance (e.g. ``PrimacyCodec.last_stats``) must opt out.
+    cacheable: bool = True
+
     @abc.abstractmethod
     def compress(self, data: bytes) -> bytes:
         """Compress ``data``; always returns a self-describing stream."""
@@ -79,25 +85,58 @@ class Codec(abc.ABC):
 
 _REGISTRY: dict[str, type[Codec]] = {}
 
+# Instance cache for get_codec: hot paths (per-chunk pipeline
+# construction inside pool workers) request the same (name, options)
+# codec thousands of times; construction can be expensive (Huffman
+# tables, hash chains).  LRU-bounded; invalidated per name when a codec
+# class is (re-)registered.
+_INSTANCE_CACHE: "OrderedDict[tuple, Codec]" = OrderedDict()
+_INSTANCE_CACHE_SIZE = 64
+
 
 def register_codec(cls: type[Codec]) -> type[Codec]:
-    """Class decorator: register ``cls`` under ``cls.name``."""
+    """Class decorator: register ``cls`` under ``cls.name``.
+
+    Re-registering a name drops any cached instances of the old class.
+    """
     if not issubclass(cls, Codec):
         raise TypeError("register_codec expects a Codec subclass")
     if cls.name in ("abstract", ""):
         raise ValueError("codec must define a non-default name")
     _REGISTRY[cls.name] = cls
+    for key in [k for k in _INSTANCE_CACHE if k[0] == cls.name]:
+        del _INSTANCE_CACHE[key]
     return cls
 
 
 def get_codec(name: str, **kwargs) -> Codec:
-    """Instantiate a registered codec by name."""
+    """Instantiate (or fetch a cached instance of) a registered codec.
+
+    Identical ``(name, options)`` requests share one instance when the
+    codec class declares itself :attr:`Codec.cacheable` and the options
+    are hashable; otherwise a fresh instance is constructed.
+    """
     try:
         cls = _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown codec {name!r}; available: {known}") from None
-    return cls(**kwargs)
+    if not cls.cacheable:
+        return cls(**kwargs)
+    try:
+        key = (name, tuple(sorted(kwargs.items())))
+        hash(key)
+    except TypeError:
+        return cls(**kwargs)
+    cached = _INSTANCE_CACHE.get(key)
+    if cached is not None:
+        _INSTANCE_CACHE.move_to_end(key)
+        return cached
+    codec = cls(**kwargs)
+    _INSTANCE_CACHE[key] = codec
+    if len(_INSTANCE_CACHE) > _INSTANCE_CACHE_SIZE:
+        _INSTANCE_CACHE.popitem(last=False)
+    return codec
 
 
 def available_codecs() -> list[str]:

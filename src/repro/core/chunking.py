@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.buffers import as_view
+
 __all__ = ["DEFAULT_CHUNK_BYTES", "Chunk", "Chunker"]
 
 DEFAULT_CHUNK_BYTES = 3 * 1024 * 1024
@@ -19,11 +21,16 @@ DEFAULT_CHUNK_BYTES = 3 * 1024 * 1024
 
 @dataclass(frozen=True)
 class Chunk:
-    """One chunk of the input stream."""
+    """One chunk of the input stream.
+
+    ``data`` is a zero-copy :class:`memoryview` into the caller's buffer
+    (it compares equal to the corresponding ``bytes``); call
+    ``bytes(chunk.data)`` only when an owned copy is genuinely needed.
+    """
 
     index: int
     offset: int
-    data: bytes
+    data: memoryview
 
 
 class Chunker:
@@ -47,19 +54,24 @@ class Chunker:
         self.word_bytes = word_bytes
         self.chunk_bytes = (chunk_bytes // word_bytes) * word_bytes
 
-    def split(self, data: bytes) -> tuple[list[Chunk], bytes]:
+    def split(
+        self, data: bytes | bytearray | memoryview
+    ) -> tuple[list[Chunk], bytes]:
         """Split ``data`` into chunks plus a sub-word tail.
 
         Returns ``(chunks, tail)`` where ``tail`` is the trailing
         ``len(data) % word_bytes`` bytes (stored raw by the container).
+        Chunks are memoryview slices into ``data`` -- no payload bytes
+        are copied here, whatever buffer type the caller passes.
         """
-        usable = len(data) - (len(data) % self.word_bytes)
-        tail = data[usable:]
+        view = as_view(data)
+        usable = len(view) - (len(view) % self.word_bytes)
+        tail = bytes(view[usable:])
         chunks = [
             Chunk(
                 index=i,
                 offset=off,
-                data=data[off : min(off + self.chunk_bytes, usable)],
+                data=view[off : min(off + self.chunk_bytes, usable)],
             )
             for i, off in enumerate(range(0, usable, self.chunk_bytes))
         ]

@@ -41,10 +41,21 @@ from repro.core.idmap import FrequencyIndex, IdMapper, IndexReusePolicy
 from repro.core.linearize import Linearization, delinearize
 from repro.isobar import IsobarConfig, IsobarPartitioner
 from repro.isobar.bitplane import BitplaneAnalysis, BitplanePartitioner
+from repro.util.buffers import as_view
 from repro.util.checksum import adler32
 from repro.util.varint import decode_uvarint, encode_uvarint
 
-__all__ = ["PrimacyConfig", "PrimacyChunkStats", "PrimacyStats", "PrimacyCompressor", "PrimacyCodec"]
+__all__ = [
+    "PrimacyConfig",
+    "PrimacyChunkStats",
+    "PrimacyStats",
+    "PrimacyCompressor",
+    "PrimacyCodec",
+    "ContainerHeader",
+    "encode_container_header",
+    "parse_container_header",
+    "iter_container_records",
+]
 
 _MAGIC = b"PRIM"
 _VERSION = 1
@@ -104,6 +115,130 @@ class PrimacyConfig:
             raise ValueError("high_bytes > 3 would need a 4+ GiB index table")
         if self.isobar_granularity not in ("byte", "bit"):
             raise ValueError("isobar_granularity must be 'byte' or 'bit'")
+
+
+# --------------------------------------------------------------------- #
+# container framing (shared by the serial and parallel paths)            #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ContainerHeader:
+    """Decoded PRIM container header (everything before the records)."""
+
+    codec: str
+    checksum: bool
+    bit_isobar: bool
+    word_bytes: int
+    high_bytes: int
+    linearization: Linearization
+    total_len: int
+    tail: bytes
+    n_chunks: int
+    records_pos: int  # byte offset of the first record-length varint
+
+    def to_config(self, base: "PrimacyConfig | None" = None) -> "PrimacyConfig":
+        """Pipeline configuration matching this container.
+
+        Fields the container does not record (chunk size, ISOBAR
+        thresholds, index policy) are inherited from ``base`` -- none of
+        them affect decoding.
+        """
+        base = base or PrimacyConfig()
+        return PrimacyConfig(
+            codec=self.codec,
+            chunk_bytes=base.chunk_bytes,
+            word_bytes=self.word_bytes,
+            high_bytes=self.high_bytes,
+            linearization=self.linearization,
+            index_policy=base.index_policy,
+            correlation_threshold=base.correlation_threshold,
+            isobar=base.isobar,
+            isobar_granularity="bit" if self.bit_isobar else "byte",
+            checksum=self.checksum,
+        )
+
+
+def encode_container_header(
+    config: "PrimacyConfig", data_len: int, tail: bytes, n_chunks: int
+) -> bytes:
+    """Serialize the PRIM container preamble (magic .. chunk count).
+
+    Both :meth:`PrimacyCompressor.compress` and the parallel compressor
+    emit exactly this framing, which is what keeps their outputs
+    byte-identical.
+    """
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    flags = _FLAG_CHECKSUM if config.checksum else 0
+    if config.isobar_granularity == "bit":
+        flags |= _FLAG_BIT_ISOBAR
+    out.append(flags)
+    codec_name = config.codec.encode("ascii")
+    out += encode_uvarint(len(codec_name))
+    out += codec_name
+    out += encode_uvarint(config.word_bytes)
+    out += encode_uvarint(config.high_bytes)
+    out.append(0 if config.linearization is Linearization.COLUMN else 1)
+    out += encode_uvarint(data_len)
+    out += encode_uvarint(len(tail))
+    out += tail
+    out += encode_uvarint(n_chunks)
+    return bytes(out)
+
+
+def parse_container_header(data: bytes | memoryview) -> ContainerHeader:
+    """Parse a PRIM container preamble; cheap (no payload decoding)."""
+    if bytes(data[:4]) != _MAGIC:
+        raise CodecError("not a PRIMACY container")
+    version = data[4]
+    if version != _VERSION:
+        raise CodecError(f"unsupported container version {version}")
+    flags = data[5]
+    pos = 6
+    name_len, pos = decode_uvarint(data, pos)
+    codec_name = bytes(data[pos : pos + name_len]).decode("ascii")
+    pos += name_len
+    word_bytes, pos = decode_uvarint(data, pos)
+    high_bytes, pos = decode_uvarint(data, pos)
+    linearization = Linearization.COLUMN if data[pos] == 0 else Linearization.ROW
+    pos += 1
+    total_len, pos = decode_uvarint(data, pos)
+    tail_len, pos = decode_uvarint(data, pos)
+    tail = bytes(data[pos : pos + tail_len])
+    pos += tail_len
+    n_chunks, pos = decode_uvarint(data, pos)
+    return ContainerHeader(
+        codec=codec_name,
+        checksum=bool(flags & _FLAG_CHECKSUM),
+        bit_isobar=bool(flags & _FLAG_BIT_ISOBAR),
+        word_bytes=word_bytes,
+        high_bytes=high_bytes,
+        linearization=linearization,
+        total_len=total_len,
+        tail=tail,
+        n_chunks=n_chunks,
+        records_pos=pos,
+    )
+
+
+def iter_container_records(data: bytes | memoryview, header: ContainerHeader):
+    """Yield the ``n_chunks`` record slices of a container, in order.
+
+    The record table is self-delimiting (a varint length prefixes each
+    record), so this scan is cheap and yields zero-copy memoryviews --
+    it is the serial part of parallel decompression.
+    """
+    view = memoryview(data) if not isinstance(data, memoryview) else data
+    pos = header.records_pos
+    for _ in range(header.n_chunks):
+        record_len, pos = decode_uvarint(view, pos)
+        record = view[pos : pos + record_len]
+        if len(record) != record_len:
+            raise CodecError("truncated chunk record")
+        pos += record_len
+        yield record
 
 
 @dataclass
@@ -264,30 +399,21 @@ class PrimacyCompressor:
     # compression                                                         #
     # ------------------------------------------------------------------ #
 
-    def compress(self, data: bytes) -> tuple[bytes, PrimacyStats]:
-        """Compress raw bytes of little-endian words; returns (container, stats)."""
-        data = bytes(data)
-        cfg = self.config
+    def compress(
+        self, data: bytes | bytearray | memoryview | np.ndarray
+    ) -> tuple[bytes, PrimacyStats]:
+        """Compress raw bytes of little-endian words; returns (container, stats).
+
+        Accepts any byte-buffer type (including NumPy arrays) without
+        copying the payload.
+        """
+        data = as_view(data)
         stats = PrimacyStats(original_bytes=len(data))
         chunks, tail = self._chunker.split(data)
 
-        out = bytearray()
-        out += _MAGIC
-        out.append(_VERSION)
-        flags = _FLAG_CHECKSUM if cfg.checksum else 0
-        if cfg.isobar_granularity == "bit":
-            flags |= _FLAG_BIT_ISOBAR
-        out.append(flags)
-        codec_name = cfg.codec.encode("ascii")
-        out += encode_uvarint(len(codec_name))
-        out += codec_name
-        out += encode_uvarint(cfg.word_bytes)
-        out += encode_uvarint(cfg.high_bytes)
-        out.append(0 if cfg.linearization is Linearization.COLUMN else 1)
-        out += encode_uvarint(len(data))
-        out += encode_uvarint(len(tail))
-        out += tail
-        out += encode_uvarint(len(chunks))
+        out = bytearray(
+            encode_container_header(self.config, len(data), tail, len(chunks))
+        )
 
         prev_index: FrequencyIndex | None = None
         prev_freq: np.ndarray | None = None
@@ -305,7 +431,7 @@ class PrimacyCompressor:
 
     def compress_chunk(
         self,
-        chunk: bytes,
+        chunk: bytes | memoryview,
         state: tuple[FrequencyIndex, np.ndarray] | None = None,
     ) -> tuple[bytes, PrimacyChunkStats, tuple[FrequencyIndex, np.ndarray]]:
         """Compress one word-aligned chunk into a self-contained record.
@@ -455,63 +581,40 @@ class PrimacyCompressor:
 
     def decompress(self, data: bytes) -> bytes:
         """Invert :meth:`compress` exactly (Codec API)."""
-        if data[:4] != _MAGIC:
-            raise CodecError("not a PRIMACY container")
-        version = data[4]
-        if version != _VERSION:
-            raise CodecError(f"unsupported container version {version}")
-        flags = data[5]
-        use_checksum = bool(flags & _FLAG_CHECKSUM)
-        bit_isobar = bool(flags & _FLAG_BIT_ISOBAR)
-        pos = 6
-        name_len, pos = decode_uvarint(data, pos)
-        codec_name = data[pos : pos + name_len].decode("ascii")
-        pos += name_len
-        if codec_name == self.config.codec:
+        header = parse_container_header(data)
+        if header.codec == self.config.codec:
             codec = self._codec
         else:
             try:
-                codec = get_codec(codec_name)
+                codec = get_codec(header.codec)
             except KeyError as exc:
-                raise CodecError(f"unknown backend codec {codec_name!r}") from exc
-        word_bytes, pos = decode_uvarint(data, pos)
-        high_bytes, pos = decode_uvarint(data, pos)
-        linearization = Linearization.COLUMN if data[pos] == 0 else Linearization.ROW
-        pos += 1
-        total_len, pos = decode_uvarint(data, pos)
-        tail_len, pos = decode_uvarint(data, pos)
-        tail = data[pos : pos + tail_len]
-        pos += tail_len
-        n_chunks, pos = decode_uvarint(data, pos)
+                raise CodecError(
+                    f"unknown backend codec {header.codec!r}"
+                ) from exc
 
-        mapper = IdMapper(seq_bytes=high_bytes)
+        mapper = IdMapper(seq_bytes=header.high_bytes)
         partitioner = (
             BitplanePartitioner(codec)
-            if bit_isobar
+            if header.bit_isobar
             else IsobarPartitioner(codec, self.config.isobar)
         )
         parts: list[bytes] = []
         current_index: FrequencyIndex | None = None
-        for _ in range(n_chunks):
-            record_len, pos = decode_uvarint(data, pos)
-            record = data[pos : pos + record_len]
-            if len(record) != record_len:
-                raise CodecError("truncated chunk record")
-            pos += record_len
+        for record in iter_container_records(data, header):
             chunk_bytes, current_index = self._decompress_chunk(
                 record,
                 mapper,
                 partitioner,
                 codec,
-                word_bytes,
-                high_bytes,
-                linearization,
-                use_checksum,
+                header.word_bytes,
+                header.high_bytes,
+                header.linearization,
+                header.checksum,
                 current_index,
             )
             parts.append(chunk_bytes)
-        result = b"".join(parts) + tail
-        if len(result) != total_len:
+        result = b"".join(parts) + header.tail
+        if len(result) != header.total_len:
             raise CodecError("container length mismatch")
         return result
 
@@ -545,10 +648,10 @@ class PrimacyCompressor:
             extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
             index = current_index.extended(extension)
         high_len, pos = decode_uvarint(record, pos)
-        high_compressed = record[pos : pos + high_len]
+        high_compressed = bytes(record[pos : pos + high_len])
         pos += high_len
         low_len, pos = decode_uvarint(record, pos)
-        low_blob = record[pos : pos + low_len]
+        low_blob = bytes(record[pos : pos + low_len])
         pos += low_len
 
         id_stream = codec.decompress(high_compressed)
@@ -604,6 +707,9 @@ class PrimacyCodec(Codec):
     """
 
     name = "primacy"
+    # last_stats is per-call state; a shared cached instance would leak
+    # one caller's stats into another.
+    cacheable = False
 
     def __init__(self, config: PrimacyConfig | None = None, **kwargs) -> None:
         if config is None:

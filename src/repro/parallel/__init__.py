@@ -6,10 +6,25 @@ same structure applies across cores: chunks are independent under the
 PER_CHUNK index policy, so they can be compressed by a process pool and
 reassembled into a byte-identical container.
 
+* :class:`~repro.parallel.engine.ParallelEngine` -- persistent,
+  lazily-started worker pool with zero-copy shared-memory fan-out and
+  per-stage :class:`~repro.parallel.engine.PoolStats`.
 * :class:`~repro.parallel.pool.ParallelCompressor` -- drop-in parallel
-  version of :meth:`repro.core.PrimacyCompressor.compress`.
+  version of :meth:`repro.core.PrimacyCompressor.compress`, plus the
+  ordered streaming :meth:`~repro.parallel.pool.ParallelCompressor.compress_iter`
+  used by the pipelined storage/checkpoint writers.
+* :class:`~repro.parallel.decompress.ParallelDecompressor` -- record-level
+  parallel decoding of PRIM containers.
 """
 
+from repro.parallel.decompress import ParallelDecompressor
+from repro.parallel.engine import EngineError, ParallelEngine, PoolStats
 from repro.parallel.pool import ParallelCompressor
 
-__all__ = ["ParallelCompressor"]
+__all__ = [
+    "EngineError",
+    "ParallelCompressor",
+    "ParallelDecompressor",
+    "ParallelEngine",
+    "PoolStats",
+]

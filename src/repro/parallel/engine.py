@@ -1,0 +1,510 @@
+"""Persistent shared-memory parallel engine for chunk-level work.
+
+The first-generation :class:`~repro.parallel.pool.ParallelCompressor`
+rebuilt a :class:`concurrent.futures.ProcessPoolExecutor` on every
+``compress()`` call and pickled each 3 MB chunk payload into (and its
+record out of) the workers.  Both costs land on the critical path the
+paper's model says must stay hidden behind I/O (Sec III), so this module
+replaces them:
+
+* **Persistent pool** -- workers start lazily on the first submit and
+  stay alive across calls; each worker builds its
+  :class:`~repro.core.PrimacyCompressor` once per configuration.
+* **Zero-copy fan-out** -- input buffers are published through
+  :class:`multiprocessing.shared_memory.SharedMemory`; the task queue
+  carries only ``(shm_name, offset, length)`` descriptors.  Segments are
+  recycled through a free list, so a steady-state stream performs no
+  allocations.  Results come back over the result queue as bytes
+  (records are small post-compression).
+* **Bounded in-flight window** -- at most ``max_pending`` tasks (and
+  therefore segments) exist at once, so a 10 GB stream never
+  materializes all of its chunks.
+* **Graceful degradation** -- ``workers=1``, a pool that fails to
+  start, or a fork of the owning process all fall back to inline
+  execution with identical results.
+
+:class:`PoolStats` accounts for every byte moved and every second spent
+per stage (publish, queue wait, worker compute, drain), feeding
+``benchmarks/bench_parallel_engine.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+import traceback
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context, resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.core.primacy import PrimacyCompressor, PrimacyConfig
+from repro.util.buffers import as_view
+
+__all__ = [
+    "KIND_COMPRESS",
+    "KIND_DECOMPRESS",
+    "EngineError",
+    "PoolStats",
+    "ParallelEngine",
+]
+
+KIND_COMPRESS = "compress"
+KIND_DECOMPRESS = "decompress"
+
+#: Payloads below this size are cheaper to pickle through the task queue
+#: than to stage through a shared-memory segment.
+_SMALL_PAYLOAD = 16 * 1024
+
+_JOIN_TIMEOUT = 5.0
+
+
+class EngineError(RuntimeError):
+    """A worker failed; carries the remote traceback text."""
+
+
+@dataclass
+class PoolStats:
+    """Byte- and time-accounting across one engine lifetime.
+
+    ``submit_seconds`` is parent wall time publishing buffers (the
+    shared-memory copy plus enqueue); ``queue_wait_seconds`` is the sum
+    of task latencies between enqueue and worker pickup;
+    ``worker_seconds`` is in-worker compute; ``drain_seconds`` is parent
+    wall time blocked waiting for results.
+    """
+
+    workers: int = 0
+    tasks: int = 0
+    inline_tasks: int = 0
+    shm_bytes: int = 0
+    pickled_bytes: int = 0
+    result_bytes: int = 0
+    submit_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+    worker_seconds: float = 0.0
+    drain_seconds: float = 0.0
+    started_at: float | None = None
+    stopped_at: float | None = None
+
+    def busy_fraction(self) -> float:
+        """Worker compute time over total worker wall capacity."""
+        if self.started_at is None or self.workers == 0:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.monotonic()
+        wall = max(end - self.started_at, 1e-9)
+        return self.worker_seconds / (wall * self.workers)
+
+    def summary(self) -> dict:
+        """Machine-readable snapshot (used by the benchmarks)."""
+        return {
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "inline_tasks": self.inline_tasks,
+            "shm_bytes": self.shm_bytes,
+            "pickled_bytes": self.pickled_bytes,
+            "result_bytes": self.result_bytes,
+            "submit_seconds": self.submit_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "worker_seconds": self.worker_seconds,
+            "drain_seconds": self.drain_seconds,
+            "busy_fraction": self.busy_fraction(),
+        }
+
+
+def _compressor_for(cache: list, config: PrimacyConfig) -> PrimacyCompressor:
+    """Linear-scan compressor cache (configs are few and dict-bearing,
+    hence unhashable)."""
+    for cfg, comp in cache:
+        if cfg == config:
+            return comp
+    comp = PrimacyCompressor(config)
+    cache.append((config, comp))
+    return comp
+
+
+def _execute(
+    compressor: PrimacyCompressor, kind: str, data: bytes | memoryview
+):
+    if kind == KIND_COMPRESS:
+        record, stats, _ = compressor.compress_chunk(data)
+        return (record, stats), len(record)
+    if kind == KIND_DECOMPRESS:
+        chunk, _ = compressor.decompress_chunk(bytes(data))
+        return chunk, len(chunk)
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
+    """Worker loop: pull descriptors, execute, push results.
+
+    Runs until a ``None`` sentinel arrives.  Exceptions are caught and
+    shipped back as tracebacks -- a malformed chunk must not kill the
+    pool.
+
+    ``untrack`` handles bpo-39959: attaching registers the segment with
+    the resource tracker even though the parent owns it.  Under ``fork``
+    the tracker is shared with the parent and registration is an
+    idempotent set-add the parent's ``unlink`` clears, so unregistering
+    here would race other workers; under ``spawn`` each worker has its
+    *own* tracker that would try to destroy the parent's segments at
+    exit, so there we must unregister after every attach.
+    """
+    compressors: list = []
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        task_id, kind, config, shm_name, offset, length, payload, t_submit = item
+        t_start = time.monotonic()
+        queue_wait = max(t_start - t_submit, 0.0)
+        try:
+            if shm_name is not None:
+                shm = SharedMemory(name=shm_name)
+                try:
+                    data = bytes(shm.buf[offset : offset + length])
+                finally:
+                    shm.close()
+                    if untrack:  # pragma: no cover - non-fork platforms
+                        try:
+                            resource_tracker.unregister(
+                                shm._name, "shared_memory"
+                            )
+                        except Exception:
+                            pass
+            else:
+                data = payload
+            comp = _compressor_for(compressors, config or default_config)
+            t_work = time.monotonic()
+            result, out_bytes = _execute(comp, kind, data)
+            result_q.put(
+                (
+                    task_id,
+                    True,
+                    result,
+                    queue_wait,
+                    time.monotonic() - t_work,
+                    out_bytes,
+                )
+            )
+        except Exception:
+            result_q.put(
+                (task_id, False, traceback.format_exc(), queue_wait, 0.0, 0)
+            )
+
+
+class ParallelEngine:
+    """Persistent worker pool fanning chunk tasks out over shared memory.
+
+    Parameters
+    ----------
+    config:
+        Default pipeline configuration workers compile once; individual
+        submits may override it (checkpoint segments with a different
+        word width reuse the same pool).
+    workers:
+        Pool size; defaults to the CPU count.  ``workers=1`` executes
+        inline in the parent with no pool at all.
+    max_pending:
+        In-flight task window; defaults to ``2 * workers`` (minimum 4).
+        Bounds both memory (live shared-memory segments) and the
+        reorder buffer of ordered consumers.
+
+    Usable as a context manager; :meth:`close` is idempotent and a
+    closed engine transparently restarts on the next submit.
+    """
+
+    def __init__(
+        self,
+        config: PrimacyConfig | None = None,
+        workers: int | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        self.config = config or PrimacyConfig()
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.max_pending = (
+            max_pending if max_pending is not None else max(2 * self.workers, 4)
+        )
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.stats = PoolStats(workers=self.workers)
+        self._ctx = get_context()
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._pid: int | None = None
+        self._inline_fallback = self.workers == 1
+        self._local_compressors: list = []
+        self._next_id = 0
+        self._done: dict[int, tuple[bool, object]] = {}
+        self._pending: set[int] = set()
+        self._task_shm: dict[int, SharedMemory] = {}
+        self._free_shm: dict[int, deque] = {}
+        self._all_shm: list[SharedMemory] = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return bool(self._procs)
+
+    def _ensure_pool(self) -> None:
+        if self._pid is not None and self._pid != os.getpid():
+            # We are a fork of the engine's owner: the inherited queue
+            # and process handles belong to the parent.  Drop them
+            # (without closing/unlinking -- the parent still uses them)
+            # and start fresh in this process.
+            self._reset_after_fork()
+        if self._procs or self._inline_fallback:
+            return
+        try:
+            # Start the resource tracker *before* forking so workers
+            # share it (instead of each lazily spawning their own, which
+            # would later try to clean the parent's segments up).
+            resource_tracker.ensure_running()
+            untrack = self._ctx.get_start_method() != "fork"
+            self._task_q = self._ctx.Queue()
+            self._result_q = self._ctx.Queue()
+            procs = []
+            for _ in range(self.workers):
+                proc = self._ctx.Process(
+                    target=_worker_main,
+                    args=(self.config, self._task_q, self._result_q, untrack),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            self._procs = procs
+            self._pid = os.getpid()
+            if self.stats.started_at is None:
+                self.stats.started_at = time.monotonic()
+            self.stats.stopped_at = None
+        except Exception as exc:  # pragma: no cover - depends on host limits
+            warnings.warn(
+                f"parallel engine failed to start ({exc}); "
+                "falling back to inline execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._halt_procs()
+            self._inline_fallback = True
+
+    def _reset_after_fork(self) -> None:
+        self._procs = []
+        self._task_q = None
+        self._result_q = None
+        self._pid = None
+        self._done = {}
+        self._pending = set()
+        self._task_shm = {}
+        self._free_shm = {}
+        self._all_shm = []
+        self._local_compressors = []
+        self.stats = PoolStats(workers=self.workers)
+        self._inline_fallback = self.workers == 1
+
+    def close(self) -> None:
+        """Stop workers and release every shared-memory segment.
+
+        Safe to call with tasks still in flight (their results are
+        discarded) and safe to call twice.  Asserts no segment leaks:
+        every segment this engine created is closed *and* unlinked.
+        """
+        if self._pid is not None and self._pid != os.getpid():
+            self._reset_after_fork()
+            return
+        self._halt_procs()
+        for shm in self._all_shm:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._all_shm = []
+        self._free_shm = {}
+        self._task_shm = {}
+        self._pending = set()
+        self._done = {}
+        if self.stats.started_at is not None and self.stats.stopped_at is None:
+            self.stats.stopped_at = time.monotonic()
+
+    def _halt_procs(self) -> None:
+        procs, self._procs = self._procs, []
+        if procs and self._task_q is not None:
+            for _ in procs:
+                try:
+                    self._task_q.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        # Drain results while workers wind down so no feeder thread can
+        # block a worker on a full pipe (that would deadlock join).
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        while any(p.is_alive() for p in procs):
+            if self._result_q is not None:
+                try:
+                    self._result_q.get(timeout=0.05)
+                except (queue_mod.Empty, OSError, ValueError):
+                    pass
+            if time.monotonic() > deadline:
+                for p in procs:  # pragma: no cover - stuck worker
+                    if p.is_alive():
+                        p.terminate()
+                break
+        for p in procs:
+            p.join(timeout=_JOIN_TIMEOUT)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._task_q = None
+        self._result_q = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared-memory segment pool ------------------------------------
+
+    @staticmethod
+    def _capacity_for(length: int) -> int:
+        # Round up to 64 KiB so equal-sized chunk streams always recycle.
+        return max((length + 0xFFFF) & ~0xFFFF, 0x10000)
+
+    def _acquire_segment(self, length: int) -> SharedMemory:
+        capacity = self._capacity_for(length)
+        free = self._free_shm.get(capacity)
+        if free:
+            return free.popleft()
+        shm = SharedMemory(create=True, size=capacity)
+        # The OS may round the mapping up; recycle under the key we
+        # allocate with so lookups always hit.
+        shm._engine_capacity = capacity
+        self._all_shm.append(shm)
+        return shm
+
+    def _release_segment(self, task_id: int) -> None:
+        shm = self._task_shm.pop(task_id, None)
+        if shm is not None:
+            capacity = getattr(shm, "_engine_capacity", shm.size)
+            self._free_shm.setdefault(capacity, deque()).append(shm)
+
+    # -- task submission / collection ----------------------------------
+
+    def run_inline(self, kind: str, data, config: PrimacyConfig | None = None):
+        """Execute one task synchronously in the calling process."""
+        comp = _compressor_for(self._local_compressors, config or self.config)
+        result, _ = _execute(comp, kind, as_view(data))
+        self.stats.tasks += 1
+        self.stats.inline_tasks += 1
+        return result
+
+    def submit(self, kind: str, data, config: PrimacyConfig | None = None) -> int:
+        """Queue one task; returns its id (collect with :meth:`pop`).
+
+        The caller's buffer is published before returning, so it may be
+        reused or mutated immediately afterwards.  Callers are expected
+        to respect :attr:`max_pending`; ordered consumers should pop the
+        oldest task whenever the window fills.
+        """
+        t0 = time.monotonic()
+        view = as_view(data)
+        task_id = self._next_id
+        self._next_id += 1
+        self._ensure_pool()
+        if self._inline_fallback:
+            try:
+                comp = _compressor_for(
+                    self._local_compressors, config or self.config
+                )
+                result, _ = _execute(comp, kind, view)
+                self._done[task_id] = (True, result)
+            except Exception:
+                self._done[task_id] = (False, traceback.format_exc())
+            self.stats.tasks += 1
+            self.stats.inline_tasks += 1
+            self.stats.pickled_bytes += len(view)
+            self.stats.submit_seconds += time.monotonic() - t0
+            return task_id
+
+        cfg = None if (config is None or config == self.config) else config
+        if len(view) >= _SMALL_PAYLOAD:
+            shm = self._acquire_segment(len(view))
+            shm.buf[: len(view)] = view
+            self._task_shm[task_id] = shm
+            descriptor = (task_id, kind, cfg, shm.name, 0, len(view), None, t0)
+            self.stats.shm_bytes += len(view)
+        else:
+            descriptor = (
+                task_id, kind, cfg, None, 0, len(view), bytes(view), t0,
+            )
+            self.stats.pickled_bytes += len(view)
+        self._task_q.put(descriptor)
+        self._pending.add(task_id)
+        self.stats.tasks += 1
+        self.stats.submit_seconds += time.monotonic() - t0
+        return task_id
+
+    def pop(self, task_id: int):
+        """Block until ``task_id`` completes and return its result.
+
+        Out-of-order completions encountered while waiting are stashed,
+        which is what lets ordered consumers stream records in submit
+        order while workers finish in any order.
+        """
+        t0 = time.monotonic()
+        try:
+            while task_id not in self._done:
+                if not self._pending:
+                    raise EngineError(f"task {task_id} was never submitted")
+                self._collect_one()
+        finally:
+            self.stats.drain_seconds += time.monotonic() - t0
+        ok, payload = self._done.pop(task_id)
+        if not ok:
+            raise EngineError(
+                f"parallel worker failed:\n{payload}"
+            )
+        return payload
+
+    def _collect_one(self) -> None:
+        while True:
+            try:
+                item = self._result_q.get(timeout=1.0)
+                break
+            except queue_mod.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise EngineError(
+                        f"{len(dead)} parallel worker(s) died with "
+                        f"{len(self._pending)} task(s) outstanding"
+                    ) from None
+        task_id, ok, payload, queue_wait, worker_seconds, out_bytes = item
+        self._pending.discard(task_id)
+        self._release_segment(task_id)
+        self.stats.queue_wait_seconds += queue_wait
+        self.stats.worker_seconds += worker_seconds
+        self.stats.result_bytes += out_bytes
+        self._done[task_id] = (ok, payload)
+
+    def map_ordered(self, kind: str, buffers, config: PrimacyConfig | None = None):
+        """Yield results for ``buffers`` in order, windowed by ``max_pending``.
+
+        Submission runs at most ``max_pending`` tasks ahead of the
+        consumer, which is exactly the double-buffering the pipelined
+        writers need: while the consumer handles result *k*, results
+        *k+1..k+max_pending* are compressing.
+        """
+        inflight: deque[int] = deque()
+        for buf in buffers:
+            inflight.append(self.submit(kind, buf, config))
+            if len(inflight) >= self.max_pending:
+                yield self.pop(inflight.popleft())
+        while inflight:
+            yield self.pop(inflight.popleft())

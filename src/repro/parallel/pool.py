@@ -1,4 +1,4 @@
-"""Process-pool chunk compression.
+"""Parallel chunk compression on the persistent shared-memory engine.
 
 Chunk records are independent under
 :attr:`repro.core.idmap.IndexReusePolicy.PER_CHUNK` (each chunk carries
@@ -7,47 +7,32 @@ processes and concatenate the records in order.  The output is
 **byte-identical** to the serial :class:`repro.core.PrimacyCompressor`
 container -- decompression needs no parallel-specific code.
 
-Workers each build a :class:`PrimacyCompressor` once (pool initializer)
-and then receive raw chunk bytes; only bytes cross process boundaries.
+The heavy lifting lives in :class:`repro.parallel.engine.ParallelEngine`:
+the worker pool persists across ``compress()`` calls, chunk payloads
+travel through recycled shared-memory segments instead of pickles, and
+:meth:`ParallelCompressor.compress_iter` streams records in order as
+they complete so pipelined consumers (``repro.storage``,
+``repro.checkpoint``) can overlap compression with file I/O.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-
 from repro.core.chunking import Chunker
 from repro.core.idmap import IndexReusePolicy
-from repro.core.linearize import Linearization
 from repro.core.primacy import (
-    PrimacyChunkStats,
-    PrimacyCompressor,
     PrimacyConfig,
     PrimacyStats,
-    _FLAG_CHECKSUM,
-    _MAGIC,
-    _VERSION,
+    encode_container_header,
 )
+from repro.parallel.engine import KIND_COMPRESS, ParallelEngine
+from repro.util.buffers import as_view
 from repro.util.varint import encode_uvarint
 
 __all__ = ["ParallelCompressor"]
 
-_worker_compressor: PrimacyCompressor | None = None
-
-
-def _init_worker(config: PrimacyConfig) -> None:
-    global _worker_compressor
-    _worker_compressor = PrimacyCompressor(config)
-
-
-def _compress_chunk(chunk: bytes) -> tuple[bytes, PrimacyChunkStats]:
-    assert _worker_compressor is not None, "worker not initialized"
-    record, stats, _ = _worker_compressor.compress_chunk(chunk)
-    return record, stats
-
 
 class ParallelCompressor:
-    """Compress with a pool of worker processes.
+    """Compress with a persistent pool of worker processes.
 
     Parameters
     ----------
@@ -55,62 +40,105 @@ class ParallelCompressor:
         Pipeline configuration; must use ``IndexReusePolicy.PER_CHUNK``
         (reuse chains serialize chunks by construction).
     workers:
-        Pool size; defaults to the CPU count.
+        Pool size; defaults to the CPU count.  ``workers=1`` runs inline.
+    engine:
+        Share an existing :class:`ParallelEngine` instead of owning one
+        (its config must also be ``PER_CHUNK``); the caller then owns
+        its lifetime.
+    max_pending:
+        In-flight chunk window for the owned engine.
+
+    The worker pool starts lazily on the first multi-chunk compress and
+    persists until :meth:`close` (also a context manager).
     """
 
     def __init__(
-        self, config: PrimacyConfig | None = None, workers: int | None = None
+        self,
+        config: PrimacyConfig | None = None,
+        workers: int | None = None,
+        max_pending: int | None = None,
+        engine: ParallelEngine | None = None,
     ) -> None:
-        self.config = config or PrimacyConfig()
+        self.config = engine.config if engine is not None and config is None else (
+            config or PrimacyConfig()
+        )
         if self.config.index_policy is not IndexReusePolicy.PER_CHUNK:
             raise ValueError(
                 "parallel compression requires the PER_CHUNK index policy; "
                 "reuse chains make chunks order-dependent"
             )
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+        if engine is not None:
+            self._engine = engine
+            self._owns_engine = False
+            if workers is not None and workers != engine.workers:
+                raise ValueError("workers conflicts with the provided engine")
+        else:
+            self._engine = ParallelEngine(
+                self.config, workers=workers, max_pending=max_pending
+            )
+            self._owns_engine = True
         self._chunker = Chunker(self.config.chunk_bytes, self.config.word_bytes)
 
-    def compress(self, data: bytes) -> tuple[bytes, PrimacyStats]:
-        """Parallel equivalent of :meth:`PrimacyCompressor.compress`."""
-        data = bytes(data)
-        cfg = self.config
-        stats = PrimacyStats(original_bytes=len(data))
-        chunks, tail = self._chunker.split(data)
+    @property
+    def engine(self) -> ParallelEngine:
+        """The underlying engine (for stats or sharing)."""
+        return self._engine
 
-        out = bytearray()
-        out += _MAGIC
-        out.append(_VERSION)
-        out.append(_FLAG_CHECKSUM if cfg.checksum else 0)
-        codec_name = cfg.codec.encode("ascii")
-        out += encode_uvarint(len(codec_name))
-        out += codec_name
-        out += encode_uvarint(cfg.word_bytes)
-        out += encode_uvarint(cfg.high_bytes)
-        out.append(0 if cfg.linearization is Linearization.COLUMN else 1)
-        out += encode_uvarint(len(data))
-        out += encode_uvarint(len(tail))
-        out += tail
-        out += encode_uvarint(len(chunks))
+    @property
+    def workers(self) -> int:
+        """Pool size."""
+        return self._engine.workers
 
+    def close(self) -> None:
+        """Shut the owned engine down (no-op for shared engines)."""
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "ParallelCompressor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def compress_iter(self, data):
+        """Yield ``(record, PrimacyChunkStats)`` per chunk, in order.
+
+        Chunks are submitted up to the engine's ``max_pending`` window
+        ahead of the consumer; while the consumer handles record *k*,
+        records *k+1..* are compressing in the workers.  Single-chunk
+        inputs run inline (pool start is not worth one task).
+        """
+        chunks, _ = self._chunker.split(data)
         if len(chunks) <= 1 or self.workers == 1:
-            # Pool overhead is not worth it; run inline.
-            compressor = PrimacyCompressor(cfg)
-            results = [
-                compressor.compress_chunk(c.data)[:2] for c in chunks
-            ]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(chunks)),
-                initializer=_init_worker,
-                initargs=(cfg,),
-            ) as pool:
-                results = list(
-                    pool.map(_compress_chunk, (c.data for c in chunks))
+            for chunk in chunks:
+                yield self._engine.run_inline(
+                    KIND_COMPRESS, chunk.data, self.config
                 )
+            return
+        yield from self._engine.map_ordered(
+            KIND_COMPRESS, (c.data for c in chunks), self.config
+        )
 
-        for record, chunk_stats in results:
+    def compress(self, data) -> tuple[bytes, PrimacyStats]:
+        """Parallel equivalent of :meth:`PrimacyCompressor.compress`.
+
+        Accepts ``bytes``/``bytearray``/``memoryview``/NumPy buffers
+        without copying the payload.
+        """
+        view = as_view(data)
+        stats = PrimacyStats(original_bytes=len(view))
+        # The tail and chunk count are cheap to recompute; the actual
+        # chunk fan-out happens in compress_iter over the same split.
+        n_words = len(view) // self.config.word_bytes
+        tail = bytes(view[n_words * self.config.word_bytes :])
+        n_chunks = self._chunker.n_chunks(len(view))
+
+        out = bytearray(
+            encode_container_header(self.config, len(view), tail, n_chunks)
+        )
+        for record, chunk_stats in self.compress_iter(view):
             out += encode_uvarint(len(record))
             out += record
             stats.add(chunk_stats)

@@ -6,6 +6,14 @@ granularity); the writer cuts word-aligned chunks of the configured size,
 compresses each immediately (bounded memory), and appends the record.
 :meth:`close` flushes the partial last chunk and writes the footer.
 
+With ``workers=``/``engine=`` the writer goes *pipelined*: chunks are fanned
+out to a :class:`repro.parallel.ParallelEngine` and records are written as
+they complete, in order -- while record *k* hits the file, records
+*k+1..k+max_pending* are compressing in the workers.  Output bytes and
+accumulated :class:`~repro.core.PrimacyStats` are identical to the serial
+path (records are independent under the ``PER_CHUNK`` index policy, which
+pipelined mode therefore requires).
+
 Usable as a context manager; statistics (:class:`repro.core.PrimacyStats`)
 accumulate across the stream for model calibration.
 """
@@ -14,8 +22,10 @@ from __future__ import annotations
 
 import io
 import os
+from collections import deque
 from pathlib import Path
 
+from repro.core.idmap import IndexReusePolicy
 from repro.core.primacy import (
     PrimacyCompressor,
     PrimacyConfig,
@@ -37,12 +47,22 @@ class PrimacyFileWriter:
     config:
         Pipeline configuration; stored in the header so any reader can
         reconstruct the pipeline.
+    workers:
+        Optional worker count; ``workers > 1`` overlaps chunk
+        compression with file I/O (requires the ``PER_CHUNK`` index
+        policy).  The engine is owned and shut down by :meth:`close`.
+    engine:
+        Share an existing :class:`repro.parallel.ParallelEngine`
+        (e.g. across checkpoint segments); the caller owns its lifetime.
     """
 
     def __init__(
         self,
         target: str | os.PathLike | io.RawIOBase | io.BufferedIOBase,
         config: PrimacyConfig | None = None,
+        *,
+        workers: int | None = None,
+        engine=None,
     ) -> None:
         self.config = config or PrimacyConfig()
         if isinstance(target, (str, os.PathLike)):
@@ -51,6 +71,22 @@ class PrimacyFileWriter:
         else:
             self._fh = target
             self._owns_fh = False
+        self._engine = None
+        self._owns_engine = False
+        if engine is not None or workers is not None:
+            if self.config.index_policy is not IndexReusePolicy.PER_CHUNK:
+                raise ValueError(
+                    "pipelined writes require the PER_CHUNK index policy; "
+                    "reuse chains make chunk records order-dependent"
+                )
+            if engine is not None:
+                self._engine = engine
+            else:
+                from repro.parallel.engine import ParallelEngine
+
+                self._engine = ParallelEngine(self.config, workers=workers)
+                self._owns_engine = True
+        self._inflight: deque[int] = deque()
         self._compressor = PrimacyCompressor(self.config)
         self._buffer = bytearray()
         self._chunks: list[ChunkEntry] = []
@@ -66,7 +102,7 @@ class PrimacyFileWriter:
 
     # ------------------------------------------------------------------
 
-    def write(self, data: bytes) -> None:
+    def write(self, data: bytes | bytearray | memoryview) -> None:
         """Append raw value bytes; chunks are cut and compressed eagerly."""
         if self._closed:
             raise ValueError("writer is closed")
@@ -74,8 +110,7 @@ class PrimacyFileWriter:
         self._total_bytes += len(data)
         chunk_bytes = self._compressor._chunker.chunk_bytes
         while len(self._buffer) >= chunk_bytes:
-            self._emit_chunk(bytes(self._buffer[:chunk_bytes]))
-            del self._buffer[:chunk_bytes]
+            self._emit_chunk(chunk_bytes)
 
     def close(self) -> None:
         """Flush the final partial chunk, write the footer, close the file."""
@@ -83,22 +118,52 @@ class PrimacyFileWriter:
             return
         word = self.config.word_bytes
         usable = len(self._buffer) - (len(self._buffer) % word)
-        tail = bytes(self._buffer[usable:])
         if usable:
-            self._emit_chunk(bytes(self._buffer[:usable]))
+            self._emit_chunk(usable)
+        tail = bytes(self._buffer)
+        self._drain(0)
         self._fh.write(encode_footer(self._chunks, tail, self._total_bytes))
         self.stats.container_bytes = self._pos
         self.stats.original_bytes = self._total_bytes
+        if self._owns_engine:
+            self._engine.close()
         if self._owns_fh:
             self._fh.close()
         self._closed = True
 
     # ------------------------------------------------------------------
 
-    def _emit_chunk(self, chunk: bytes) -> None:
-        record, chunk_stats, self._state = self._compressor.compress_chunk(
-            chunk, self._state
-        )
+    def _emit_chunk(self, length: int) -> None:
+        """Compress and append the first ``length`` buffered bytes."""
+        if self._engine is not None:
+            from repro.parallel.engine import KIND_COMPRESS
+
+            # Publish straight out of the accumulation buffer -- submit
+            # copies into shared memory, so the bytes can be dropped as
+            # soon as it returns (the view must be released first, or
+            # the bytearray refuses to resize).
+            with memoryview(self._buffer) as view:
+                task_id = self._engine.submit(
+                    KIND_COMPRESS, view[:length], self.config
+                )
+            self._inflight.append(task_id)
+            del self._buffer[:length]
+            self._drain(self._engine.max_pending)
+            return
+        with memoryview(self._buffer) as view:
+            record, chunk_stats, self._state = self._compressor.compress_chunk(
+                view[:length], self._state
+            )
+        del self._buffer[:length]
+        self._write_record(record, chunk_stats)
+
+    def _drain(self, keep: int) -> None:
+        """Write completed records (in order) until ``keep`` remain in flight."""
+        while len(self._inflight) > keep:
+            record, chunk_stats = self._engine.pop(self._inflight.popleft())
+            self._write_record(record, chunk_stats)
+
+    def _write_record(self, record: bytes, chunk_stats) -> None:
         self.stats.add(chunk_stats)
         chunk_id = len(self._chunks)
         if not chunk_stats.index_reused:
@@ -127,5 +192,5 @@ class PrimacyFileWriter:
 
     @property
     def n_chunks(self) -> int:
-        """Number of chunks."""
-        return len(self._chunks)
+        """Number of chunks (written or still compressing)."""
+        return len(self._chunks) + len(self._inflight)

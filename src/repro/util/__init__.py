@@ -4,6 +4,7 @@ This package provides the bit-level and byte-level plumbing every other
 subsystem relies on:
 
 * :mod:`repro.util.bitio` -- vectorized bit packing/unpacking (NumPy).
+* :mod:`repro.util.buffers` -- zero-copy byte-view normalization.
 * :mod:`repro.util.varint` -- LEB128-style variable-length integers.
 * :mod:`repro.util.checksum` -- from-scratch CRC-32 and Adler-32.
 * :mod:`repro.util.entropy` -- Shannon entropy and repeatability metrics.
@@ -12,6 +13,7 @@ subsystem relies on:
 """
 
 from repro.util.bitio import BitReader, BitWriter, pack_bits, unpack_bits
+from repro.util.buffers import as_view
 from repro.util.checksum import adler32, crc32
 from repro.util.entropy import (
     byte_entropy,
@@ -30,6 +32,7 @@ from repro.util.varint import (
 __all__ = [
     "BitReader",
     "BitWriter",
+    "as_view",
     "pack_bits",
     "unpack_bits",
     "adler32",

@@ -55,6 +55,67 @@ class TestRegistry:
             register_codec(Nameless)
 
 
+class TestInstanceCache:
+    def test_same_options_share_instance(self):
+        assert get_codec("pyzlib", level=3) is get_codec("pyzlib", level=3)
+        assert get_codec("huffman") is get_codec("huffman")
+
+    def test_distinct_options_distinct_instances(self):
+        assert get_codec("pyzlib", level=1) is not get_codec("pyzlib", level=2)
+
+    def test_unhashable_options_bypass_cache(self):
+        class Tagged(Codec):
+            name = "tagged-cache-test"
+
+            def __init__(self, tags=()):
+                self.tags = tags
+
+            def compress(self, data):
+                return bytes(data)
+
+            def decompress(self, data):
+                return bytes(data)
+
+        from repro.compressors.base import _REGISTRY
+
+        register_codec(Tagged)
+        try:
+            a = get_codec("tagged-cache-test", tags=["x"])
+            b = get_codec("tagged-cache-test", tags=["x"])
+            assert a is not b
+        finally:
+            del _REGISTRY["tagged-cache-test"]
+
+    def test_non_cacheable_codec_never_shared(self):
+        # PrimacyCodec keeps last_stats per call; sharing would leak
+        # state between unrelated callers.
+        assert get_codec("primacy") is not get_codec("primacy")
+
+    def test_reregistration_invalidates(self):
+        from repro.compressors.base import _REGISTRY
+
+        class First(Codec):
+            name = "reload-cache-test"
+
+            def compress(self, data):
+                return bytes(data)
+
+            def decompress(self, data):
+                return bytes(data)
+
+        class Second(First):
+            pass
+
+        register_codec(First)
+        try:
+            old = get_codec("reload-cache-test")
+            assert type(old) is First
+            register_codec(Second)
+            assert type(get_codec("reload-cache-test")) is Second
+        finally:
+            del _REGISTRY["reload-cache-test"]
+
+
 class TestAsBytes:
     def test_bytes_passthrough(self):
         b = b"abc"
