@@ -7,12 +7,21 @@ File layout (PRCK)::
                          (header..trailer) for one (step, variable)
     manifest          -- per entry: step, name, dtype str, shape,
                          segment offset, segment length
-    manifest length (u64) | magic "PRCE"
+    manifest length (u64) | CRC-32 of manifest (u32) | magic "PRCE"
 
 Each variable is an independent PRIF stream, so reading one variable at
 one step costs exactly that variable's chunks (plus the manifest).  The
 writer appends steps as the simulation produces them -- the
 checkpoint-every-N-steps pattern the paper targets.
+
+Durability: for path targets the writer stages everything in
+``<target>.tmp`` and atomically renames it onto the target at
+:meth:`CheckpointWriter.close` (after fsync), so a process killed
+mid-checkpoint never leaves a file a reader would accept as complete.
+The manifest is sealed with a CRC-32 in the trailer, and every manifest
+field is bounds-checked on read -- corruption surfaces as a typed
+:class:`CorruptionError` / :class:`TruncationError`, never a bare
+``IndexError``.
 """
 
 from __future__ import annotations
@@ -25,19 +34,39 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.compressors.base import CodecError
+from repro.compressors.base import CodecError, CorruptionError, TruncationError
 from repro.core.idmap import IndexReusePolicy
 from repro.core.primacy import PrimacyConfig
 from repro.storage.reader import PrimacyFileReader
 from repro.storage.writer import PrimacyFileWriter
+from repro.util.checksum import crc32
+from repro.util.durable import AtomicFile
 from repro.util.varint import decode_uvarint, encode_uvarint
 
 __all__ = ["CheckpointWriter", "CheckpointReader", "VariableMeta"]
 
 _MAGIC = b"PRCK"
 _END_MAGIC = b"PRCE"
-_VERSION = 1
-_TRAILER_BYTES = 12
+_VERSION = 2  # v2: trailer grew a CRC-32 over the manifest (was 12 bytes)
+_TRAILER_BYTES = 16
+
+# A manifest entry is at least step + name len + dtype len + ndim +
+# offset + length = 6 bytes (with empty strings and zero dims); used to
+# reject absurd entry counts before looping on them.
+_MIN_ENTRY_BYTES = 6
+
+
+def _uvarint(data, pos: int, what: str) -> tuple[int, int]:
+    """Decode one manifest uvarint, normalizing failures to typed errors."""
+    try:
+        return decode_uvarint(data, pos)
+    except ValueError as exc:
+        kind = TruncationError if "truncated" in str(exc) else CorruptionError
+        raise kind(
+            f"bad manifest {what} at byte {pos}: {exc}",
+            region="manifest",
+            offset=pos,
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -60,6 +89,84 @@ class VariableMeta:
         return n
 
 
+def _decode_manifest(manifest: bytes, manifest_start: int) -> list[VariableMeta]:
+    """Parse the PRCK manifest with full bounds and geometry checks.
+
+    ``manifest_start`` is the absolute offset of the manifest in the
+    file, i.e. the exclusive upper bound for every segment extent.
+    """
+    pos = 0
+    n_entries, pos = _uvarint(manifest, pos, "entry count")
+    if n_entries * _MIN_ENTRY_BYTES > len(manifest):
+        raise CorruptionError(
+            f"entry count {n_entries} cannot fit in a "
+            f"{len(manifest)}-byte manifest",
+            region="manifest",
+            offset=0,
+        )
+    entries: list[VariableMeta] = []
+    for i in range(n_entries):
+        step, pos = _uvarint(manifest, pos, f"entry {i} step")
+        name_len, pos = _uvarint(manifest, pos, f"entry {i} name length")
+        raw_name = manifest[pos : pos + name_len]
+        if len(raw_name) != name_len:
+            raise TruncationError(
+                f"entry {i} name truncated", region="manifest", offset=pos
+            )
+        pos += name_len
+        dtype_len, pos = _uvarint(manifest, pos, f"entry {i} dtype length")
+        raw_dtype = manifest[pos : pos + dtype_len]
+        if len(raw_dtype) != dtype_len:
+            raise TruncationError(
+                f"entry {i} dtype truncated", region="manifest", offset=pos
+            )
+        pos += dtype_len
+        try:
+            name = raw_name.decode("utf-8")
+            dtype = raw_dtype.decode("ascii")
+            np.dtype(dtype)
+        except (UnicodeDecodeError, TypeError, ValueError) as exc:
+            raise CorruptionError(
+                f"entry {i} has an undecodable name/dtype: {exc}",
+                region="manifest",
+            ) from exc
+        ndim, pos = _uvarint(manifest, pos, f"entry {i} rank")
+        if ndim > 64:
+            raise CorruptionError(
+                f"entry {i} claims rank {ndim}", region="manifest"
+            )
+        shape = []
+        for d in range(ndim):
+            s, pos = _uvarint(manifest, pos, f"entry {i} dim {d}")
+            shape.append(s)
+        offset, pos = _uvarint(manifest, pos, f"entry {i} offset")
+        length, pos = _uvarint(manifest, pos, f"entry {i} length")
+        if offset < 5 or offset + length > manifest_start:
+            raise CorruptionError(
+                f"entry {i} segment [{offset}, {offset + length}) lies "
+                f"outside the data region [5, {manifest_start})",
+                region="manifest",
+            )
+        entries.append(
+            VariableMeta(
+                step=step,
+                name=name,
+                dtype=dtype,
+                shape=tuple(shape),
+                offset=offset,
+                length=length,
+            )
+        )
+    if pos != len(manifest):
+        raise CorruptionError(
+            f"{len(manifest) - pos} bytes of trailing garbage in "
+            "PRCK manifest",
+            region="manifest",
+            offset=pos,
+        )
+    return entries
+
+
 class CheckpointWriter:
     """Append-only checkpoint writer.
 
@@ -69,6 +176,11 @@ class CheckpointWriter:
     being serialized.  One engine serves all variables -- segments with
     a different word width ride along as per-task config overrides, so
     the pool never restarts between variables or steps.
+
+    ``durable`` (default on, path targets only) stages the checkpoint in
+    ``<target>.tmp`` and publishes it with fsync + atomic rename at
+    :meth:`close`; individual writes retry transient OS errors
+    (``EINTR``/``EAGAIN``) with bounded backoff.
     """
 
     def __init__(
@@ -78,10 +190,16 @@ class CheckpointWriter:
         *,
         workers: int | None = None,
         engine=None,
+        durable: bool = True,
     ) -> None:
         self.config = config or PrimacyConfig()
+        self._atomic: AtomicFile | None = None
         if isinstance(target, (str, os.PathLike)):
-            self._fh = open(Path(target), "wb")
+            if durable:
+                self._atomic = AtomicFile(Path(target))
+                self._fh = self._atomic
+            else:
+                self._fh = open(Path(target), "wb")
             self._owns_fh = True
         else:
             self._fh = target
@@ -145,7 +263,11 @@ class CheckpointWriter:
         self._pos += len(blob)
 
     def close(self) -> None:
-        """Flush/close the underlying file if owned."""
+        """Write the manifest + trailer and publish the file.
+
+        For durable path targets the atomic rename happens only after
+        the complete, CRC-sealed manifest is staged and fsynced.
+        """
         if self._closed:
             return
         manifest = bytearray()
@@ -165,18 +287,49 @@ class CheckpointWriter:
             manifest += encode_uvarint(e.length)
         self._fh.write(manifest)
         self._fh.write(len(manifest).to_bytes(8, "little"))
+        self._fh.write(crc32(bytes(manifest)).to_bytes(4, "little"))
         self._fh.write(_END_MAGIC)
         if self._owns_engine:
             self._engine.close()
-        if self._owns_fh:
+        if self._atomic is not None:
+            self._atomic.commit()
+        elif self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Abandon the checkpoint; a durable target is left untouched."""
+        if self._closed:
+            return
+        if self._owns_engine:
+            self._engine.close()
+        if self._atomic is not None:
+            self._atomic.discard()
+        elif self._owns_fh:
             self._fh.close()
         self._closed = True
 
     def __enter__(self) -> "CheckpointWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A manifest written after an exception would bless a partial
+        # checkpoint as complete; abort instead.
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+def _tag_segment(exc: CodecError, entry: VariableMeta) -> None:
+    """Prefix a segment decode error's location with the segment id."""
+    if isinstance(exc, CorruptionError):
+        inner = exc.region or "?"
+        if not inner.startswith("segment["):
+            exc.region = f"segment[{entry.step}/{entry.name}].{inner}"
+            if exc.offset is not None:
+                # Inner offsets are relative to the segment blob.
+                exc.offset += entry.offset
 
 
 class CheckpointReader:
@@ -197,50 +350,48 @@ class CheckpointReader:
         fh = self._fh
         fh.seek(0)
         head = fh.read(5)
+        if len(head) < 5:
+            raise TruncationError(
+                "file too small to be PRCK", region="header", offset=len(head)
+            )
         if head[:4] != _MAGIC:
-            raise CodecError("not a PRCK checkpoint file")
+            raise CorruptionError(
+                "not a PRCK checkpoint file", region="header", offset=0
+            )
         if head[4] != _VERSION:
-            raise CodecError(f"unsupported PRCK version {head[4]}")
+            raise CorruptionError(
+                f"unsupported PRCK version {head[4]}", region="header", offset=4
+            )
         fh.seek(0, io.SEEK_END)
         size = fh.tell()
+        if size < 5 + _TRAILER_BYTES:
+            raise TruncationError(
+                "PRCK file lacks a trailer", region="trailer", offset=size
+            )
         fh.seek(size - _TRAILER_BYTES)
         trailer = fh.read(_TRAILER_BYTES)
-        if trailer[8:] != _END_MAGIC:
-            raise CodecError("missing PRCK end marker")
-        manifest_len = int.from_bytes(trailer[:8], "little")
-        fh.seek(size - _TRAILER_BYTES - manifest_len)
-        manifest = fh.read(manifest_len)
-
-        pos = 0
-        n_entries, pos = decode_uvarint(manifest, pos)
-        entries: list[VariableMeta] = []
-        for _ in range(n_entries):
-            step, pos = decode_uvarint(manifest, pos)
-            name_len, pos = decode_uvarint(manifest, pos)
-            name = manifest[pos : pos + name_len].decode("utf-8")
-            pos += name_len
-            dtype_len, pos = decode_uvarint(manifest, pos)
-            dtype = manifest[pos : pos + dtype_len].decode("ascii")
-            pos += dtype_len
-            ndim, pos = decode_uvarint(manifest, pos)
-            shape = []
-            for _ in range(ndim):
-                s, pos = decode_uvarint(manifest, pos)
-                shape.append(s)
-            offset, pos = decode_uvarint(manifest, pos)
-            length, pos = decode_uvarint(manifest, pos)
-            entries.append(
-                VariableMeta(
-                    step=step,
-                    name=name,
-                    dtype=dtype,
-                    shape=tuple(shape),
-                    offset=offset,
-                    length=length,
-                )
+        if trailer[12:] != _END_MAGIC:
+            raise CorruptionError(
+                "missing PRCK end marker", region="trailer", offset=12
             )
-        self._entries = entries
-        self._by_key = {(e.step, e.name): e for e in entries}
+        manifest_len = int.from_bytes(trailer[:8], "little")
+        manifest_crc = int.from_bytes(trailer[8:12], "little")
+        manifest_start = size - _TRAILER_BYTES - manifest_len
+        if manifest_start < 5:
+            raise CorruptionError(
+                f"PRCK manifest length {manifest_len} exceeds the file",
+                region="trailer",
+            )
+        fh.seek(manifest_start)
+        manifest = fh.read(manifest_len)
+        if len(manifest) != manifest_len:
+            raise TruncationError("truncated PRCK manifest", region="manifest")
+        if crc32(manifest) != manifest_crc:
+            raise CorruptionError(
+                "PRCK manifest checksum mismatch", region="manifest"
+            )
+        self._entries = _decode_manifest(manifest, manifest_start)
+        self._by_key = {(e.step, e.name): e for e in self._entries}
 
     # -- catalogue ---------------------------------------------------------
 
@@ -268,15 +419,37 @@ class CheckpointReader:
         self._fh.seek(entry.offset)
         blob = self._fh.read(entry.length)
         if len(blob) != entry.length:
-            raise CodecError("truncated checkpoint segment")
-        return PrimacyFileReader(io.BytesIO(blob))
+            raise TruncationError(
+                f"checkpoint segment ({entry.step}, {entry.name!r}) "
+                "truncated",
+                region=f"segment[{entry.step}/{entry.name}]",
+                offset=entry.offset,
+            )
+        try:
+            return PrimacyFileReader(io.BytesIO(blob))
+        except CodecError as exc:
+            _tag_segment(exc, entry)
+            raise
 
     def read(self, step: int, name: str) -> np.ndarray:
         """Read one whole variable."""
         entry = self.meta(step, name)
         reader = self._segment_reader(entry)
-        raw = reader.read_all()
-        return np.frombuffer(raw, dtype=entry.dtype).reshape(entry.shape)
+        try:
+            raw = reader.read_all()
+            return np.frombuffer(raw, dtype=entry.dtype).reshape(entry.shape)
+        except CodecError as exc:
+            _tag_segment(exc, entry)
+            raise
+        except ValueError as exc:
+            # frombuffer/reshape mismatch: the segment decoded but does
+            # not hold shape-many dtype values.
+            raise CorruptionError(
+                f"segment ({step}, {name!r}) does not match its manifest "
+                f"shape/dtype: {exc}",
+                region=f"segment[{step}/{name}]",
+                offset=entry.offset,
+            ) from exc
 
     def read_range(
         self, step: int, name: str, start: int, count: int
@@ -284,7 +457,11 @@ class CheckpointReader:
         """Read ``count`` flat values starting at ``start`` (C order)."""
         entry = self.meta(step, name)
         reader = self._segment_reader(entry)
-        raw = reader.read_values(start, count)
+        try:
+            raw = reader.read_values(start, count)
+        except CodecError as exc:
+            _tag_segment(exc, entry)
+            raise
         return np.frombuffer(raw, dtype=entry.dtype)
 
     def close(self) -> None:

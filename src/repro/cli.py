@@ -8,6 +8,8 @@ Subcommands::
     primacy codecs                   # list registered codecs
     primacy datasets [--write DIR]   # list / materialize synthetic datasets
     primacy model ...                # evaluate the performance model
+    primacy fsck FILE                # verify a PRIF/PRCK file, localize damage
+    primacy salvage IN OUT           # recover readable chunks from a damaged file
 
 Exit status is non-zero on any error; messages go to stderr.
 """
@@ -140,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("input", type=Path)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "fsck",
+        help="walk a PRIF/PRCK file and localize the first corruption",
+    )
+    p.add_argument("input", type=Path)
+    p.set_defaults(func=_cmd_fsck)
+
+    p = sub.add_parser(
+        "salvage",
+        help="recover readable chunks from a damaged/truncated PRIF file",
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.set_defaults(func=_cmd_salvage)
 
     p = sub.add_parser(
         "report", help="markdown characterization of a synthetic dataset"
@@ -344,6 +361,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 0
     print("error: not a PRIM or PRIF container", file=sys.stderr)
     return 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.storage.verify import fsck
+
+    report = fsck(args.input)
+    print(report.summary())
+    return 0 if report.ok else 2
+
+
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    from repro.compressors import CodecError
+    from repro.storage.verify import salvage_prif
+
+    try:
+        result = salvage_prif(args.input, args.output)
+    except CodecError as exc:
+        print(f"error: nothing salvageable: {exc}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    print(f"wrote {args.output}")
+    return 0 if result.n_recovered else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -37,6 +37,8 @@ from repro.compressors.base import (
     Codec,
     CodecError,
     CodecMetrics,
+    CorruptionError,
+    TruncationError,
     available_codecs,
     evaluate_codec,
     get_codec,
@@ -57,6 +59,8 @@ __all__ = [
     "Codec",
     "CodecError",
     "CodecMetrics",
+    "CorruptionError",
+    "TruncationError",
     "available_codecs",
     "evaluate_codec",
     "get_codec",

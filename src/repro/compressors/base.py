@@ -24,6 +24,8 @@ import numpy as np
 __all__ = [
     "Codec",
     "CodecError",
+    "CorruptionError",
+    "TruncationError",
     "CodecMetrics",
     "register_codec",
     "get_codec",
@@ -35,6 +37,40 @@ __all__ = [
 
 class CodecError(Exception):
     """Raised when a compressed stream is malformed or inconsistent."""
+
+
+class CorruptionError(CodecError):
+    """A stored artifact is damaged: bad magic, failed checksum, an
+    inconsistent table, or an undecodable record.
+
+    ``region`` names the part of the artifact the decoder was in
+    (``"header"``, ``"footer"``, ``"chunk[3]"``, ...) and ``offset`` the
+    absolute byte position where decoding diverged, when known -- the
+    fsck tooling uses both to localize damage.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        region: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.region = region
+        self.offset = offset
+
+    def __reduce__(self):
+        # Keep region/offset across pickling (worker -> parent process).
+        return (
+            type(self),
+            (self.args[0] if self.args else "",),
+            {"region": self.region, "offset": self.offset},
+        )
+
+
+class TruncationError(CorruptionError):
+    """The input ends before the structure it promised is complete."""
 
 
 def as_bytes(data: bytes | bytearray | memoryview | np.ndarray) -> bytes:

@@ -29,7 +29,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compressors.base import Codec, CodecError, get_codec, register_codec
+from repro.compressors.base import (
+    Codec,
+    CodecError,
+    CorruptionError,
+    TruncationError,
+    get_codec,
+    register_codec,
+)
 from repro.core.bytesplit import (
     byte_matrix_to_values,
     combine_bytes,
@@ -188,27 +195,82 @@ def encode_container_header(
     return bytes(out)
 
 
+def _header_uvarint(data, pos: int, what: str) -> tuple[int, int]:
+    """Decode one container-header uvarint with typed failure."""
+    try:
+        return decode_uvarint(data, pos)
+    except ValueError as exc:
+        kind = TruncationError if "truncated" in str(exc) else CorruptionError
+        raise kind(
+            f"bad container {what} at byte {pos}: {exc}",
+            region="header",
+            offset=pos,
+        ) from exc
+
+
 def parse_container_header(data: bytes | memoryview) -> ContainerHeader:
-    """Parse a PRIM container preamble; cheap (no payload decoding)."""
+    """Parse a PRIM container preamble; cheap (no payload decoding).
+
+    Malformed preambles raise typed :class:`CorruptionError` /
+    :class:`TruncationError` -- never a bare ``IndexError`` from a short
+    buffer.
+    """
+    if len(data) < 6:
+        raise TruncationError(
+            "container shorter than its fixed preamble",
+            region="header",
+            offset=len(data),
+        )
     if bytes(data[:4]) != _MAGIC:
-        raise CodecError("not a PRIMACY container")
+        raise CorruptionError("not a PRIMACY container", region="header")
     version = data[4]
     if version != _VERSION:
-        raise CodecError(f"unsupported container version {version}")
+        raise CorruptionError(
+            f"unsupported container version {version}", region="header"
+        )
     flags = data[5]
     pos = 6
-    name_len, pos = decode_uvarint(data, pos)
-    codec_name = bytes(data[pos : pos + name_len]).decode("ascii")
+    name_len, pos = _header_uvarint(data, pos, "codec name length")
+    raw_name = bytes(data[pos : pos + name_len])
+    if len(raw_name) != name_len:
+        raise TruncationError(
+            "container codec name truncated", region="header", offset=pos
+        )
+    try:
+        codec_name = raw_name.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise CorruptionError(
+            f"non-ASCII codec name in container header: {exc}",
+            region="header",
+        ) from exc
     pos += name_len
-    word_bytes, pos = decode_uvarint(data, pos)
-    high_bytes, pos = decode_uvarint(data, pos)
+    word_bytes, pos = _header_uvarint(data, pos, "word width")
+    high_bytes, pos = _header_uvarint(data, pos, "high-order width")
+    if pos >= len(data):
+        raise TruncationError(
+            "container header missing linearization byte",
+            region="header",
+            offset=pos,
+        )
     linearization = Linearization.COLUMN if data[pos] == 0 else Linearization.ROW
     pos += 1
-    total_len, pos = decode_uvarint(data, pos)
-    tail_len, pos = decode_uvarint(data, pos)
+    total_len, pos = _header_uvarint(data, pos, "total length")
+    tail_len, pos = _header_uvarint(data, pos, "tail length")
     tail = bytes(data[pos : pos + tail_len])
+    if len(tail) != tail_len:
+        raise TruncationError(
+            "container tail truncated", region="header", offset=pos
+        )
     pos += tail_len
-    n_chunks, pos = decode_uvarint(data, pos)
+    n_chunks, pos = _header_uvarint(data, pos, "chunk count")
+    if n_chunks > max(len(data) - pos, 0):
+        # Each record needs at least a length prefix byte; reject absurd
+        # counts before anyone loops or allocates on them.
+        raise CorruptionError(
+            f"container claims {n_chunks} chunks in "
+            f"{max(len(data) - pos, 0)} remaining bytes",
+            region="header",
+        )
     return ContainerHeader(
         codec=codec_name,
         checksum=bool(flags & _FLAG_CHECKSUM),
@@ -232,11 +294,22 @@ def iter_container_records(data: bytes | memoryview, header: ContainerHeader):
     """
     view = memoryview(data) if not isinstance(data, memoryview) else data
     pos = header.records_pos
-    for _ in range(header.n_chunks):
-        record_len, pos = decode_uvarint(view, pos)
+    for i in range(header.n_chunks):
+        try:
+            record_len, pos = decode_uvarint(view, pos)
+        except ValueError as exc:
+            raise TruncationError(
+                f"record {i} length prefix truncated at byte {pos}",
+                region=f"chunk[{i}]",
+                offset=pos,
+            ) from exc
         record = view[pos : pos + record_len]
         if len(record) != record_len:
-            raise CodecError("truncated chunk record")
+            raise TruncationError(
+                f"record {i} truncated at byte {pos}",
+                region=f"chunk[{i}]",
+                offset=pos,
+            )
         pos += record_len
         yield record
 
@@ -592,7 +665,13 @@ class PrimacyCompressor:
                     f"unknown backend codec {header.codec!r}"
                 ) from exc
 
-        mapper = IdMapper(seq_bytes=header.high_bytes)
+        try:
+            mapper = IdMapper(seq_bytes=header.high_bytes)
+        except ValueError as exc:
+            raise CorruptionError(
+                f"container header widths are unusable: {exc}",
+                region="header",
+            ) from exc
         partitioner = (
             BitplanePartitioner(codec)
             if header.bit_isobar
@@ -615,7 +694,7 @@ class PrimacyCompressor:
             parts.append(chunk_bytes)
         result = b"".join(parts) + header.tail
         if len(result) != header.total_len:
-            raise CodecError("container length mismatch")
+            raise CorruptionError("container length mismatch")
         return result
 
     @staticmethod
@@ -630,6 +709,43 @@ class PrimacyCompressor:
         use_checksum: bool,
         current_index: FrequencyIndex | None,
     ) -> tuple[bytes, FrequencyIndex]:
+        # Record decoding is the hot boundary between stored bytes and
+        # the pipeline: corruption anywhere inside (index tables, codec
+        # streams, bit planes) must surface as a typed CorruptionError,
+        # not whatever IndexError/struct noise the damage provokes.
+        try:
+            return PrimacyCompressor._decode_record(
+                record,
+                mapper,
+                partitioner,
+                codec,
+                word_bytes,
+                high_bytes,
+                linearization,
+                use_checksum,
+                current_index,
+            )
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CorruptionError(
+                f"undecodable chunk record: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _decode_record(
+        record: bytes,
+        mapper: IdMapper,
+        partitioner: IsobarPartitioner,
+        codec: Codec,
+        word_bytes: int,
+        high_bytes: int,
+        linearization: Linearization,
+        use_checksum: bool,
+        current_index: FrequencyIndex | None,
+    ) -> tuple[bytes, FrequencyIndex]:
+        if not record:
+            raise TruncationError("empty chunk record")
         flags = record[0]
         pos = 1
         n_values, pos = decode_uvarint(record, pos)
@@ -637,13 +753,15 @@ class PrimacyCompressor:
             index, pos = FrequencyIndex.deserialize(record, pos)
         else:
             if current_index is None:
-                raise CodecError("chunk reuses an index but none precedes it")
+                raise CorruptionError(
+                    "chunk reuses an index but none precedes it"
+                )
             n_ext, pos = decode_uvarint(record, pos)
             itemsize = 4 if high_bytes > 2 else 2
             width = ">u4" if high_bytes > 2 else ">u2"
             raw = record[pos : pos + n_ext * itemsize]
             if len(raw) != n_ext * itemsize:
-                raise CodecError("truncated index extension")
+                raise TruncationError("truncated index extension")
             pos += n_ext * itemsize
             extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
             index = current_index.extended(extension)
@@ -659,13 +777,23 @@ class PrimacyCompressor:
         high = mapper.invert(id_matrix, index)
         low = partitioner.decompress(low_blob)
         if low.shape != (n_values, word_bytes - high_bytes):
-            raise CodecError("low-order matrix shape mismatch")
+            raise CorruptionError("low-order matrix shape mismatch")
         matrix = combine_bytes(high, low)
         chunk = byte_matrix_to_values(matrix)
         if use_checksum:
+            if len(record) - pos != 4:
+                raise CorruptionError(
+                    f"chunk record ends with {len(record) - pos} bytes "
+                    "where the 4-byte checksum belongs"
+                )
             stored = int.from_bytes(record[pos : pos + 4], "big")
             if adler32(chunk) != stored:
-                raise CodecError("chunk checksum mismatch")
+                raise CorruptionError("chunk checksum mismatch")
+        elif pos != len(record):
+            raise CorruptionError(
+                f"{len(record) - pos} bytes of trailing garbage "
+                "in chunk record"
+            )
         return chunk, index
 
 
@@ -682,20 +810,29 @@ def chunk_record_index_section(
 
     Returns ``(inline, index_or_extension, n_values)``.
     """
-    flags = record[0]
-    pos = 1
-    n_values, pos = decode_uvarint(record, pos)
-    if flags & _CHUNK_FLAG_INLINE_INDEX:
-        index, _ = FrequencyIndex.deserialize(record, pos)
-        return True, index, n_values
-    n_ext, pos = decode_uvarint(record, pos)
-    itemsize = 4 if high_bytes > 2 else 2
-    width = ">u4" if high_bytes > 2 else ">u2"
-    raw = record[pos : pos + n_ext * itemsize]
-    if len(raw) != n_ext * itemsize:
-        raise CodecError("truncated index extension")
-    extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
-    return False, extension, n_values
+    try:
+        if not record:
+            raise TruncationError("empty chunk record")
+        flags = record[0]
+        pos = 1
+        n_values, pos = decode_uvarint(record, pos)
+        if flags & _CHUNK_FLAG_INLINE_INDEX:
+            index, _ = FrequencyIndex.deserialize(record, pos)
+            return True, index, n_values
+        n_ext, pos = decode_uvarint(record, pos)
+        itemsize = 4 if high_bytes > 2 else 2
+        width = ">u4" if high_bytes > 2 else ">u2"
+        raw = record[pos : pos + n_ext * itemsize]
+        if len(raw) != n_ext * itemsize:
+            raise TruncationError("truncated index extension")
+        extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
+        return False, extension, n_values
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CorruptionError(
+            f"undecodable chunk index section: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 @register_codec

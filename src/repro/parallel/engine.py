@@ -31,6 +31,7 @@ per stage (publish, queue wait, worker compute, drain), feeding
 from __future__ import annotations
 
 import os
+import pickle
 import queue as queue_mod
 import time
 import traceback
@@ -40,6 +41,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context, resource_tracker
 from multiprocessing.shared_memory import SharedMemory
 
+from repro.compressors.base import CodecError
 from repro.core.primacy import PrimacyCompressor, PrimacyConfig
 from repro.util.buffers import as_view
 
@@ -63,6 +65,31 @@ _JOIN_TIMEOUT = 5.0
 
 class EngineError(RuntimeError):
     """A worker failed; carries the remote traceback text."""
+
+
+def _ship_error(exc: Exception):
+    """Package a worker exception for the result queue.
+
+    The exception object rides along when it pickles (so the parent can
+    re-raise typed :class:`CodecError` subclasses for corrupt chunks);
+    otherwise only the traceback text is shipped.
+    """
+    tb = traceback.format_exc()
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        return (None, tb)
+    return (exc, tb)
+
+
+def _raise_task_error(payload):
+    """Re-raise a shipped worker failure in the parent."""
+    exc, tb = payload
+    if isinstance(exc, CodecError):
+        # A malformed chunk is the *input's* fault, not the pool's:
+        # surface the same typed error the serial path would raise.
+        raise exc
+    raise EngineError(f"parallel worker failed:\n{tb}")
 
 
 @dataclass
@@ -189,9 +216,9 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
                     out_bytes,
                 )
             )
-        except Exception:
+        except Exception as exc:
             result_q.put(
-                (task_id, False, traceback.format_exc(), queue_wait, 0.0, 0)
+                (task_id, False, _ship_error(exc), queue_wait, 0.0, 0)
             )
 
 
@@ -425,8 +452,8 @@ class ParallelEngine:
                 )
                 result, _ = _execute(comp, kind, view)
                 self._done[task_id] = (True, result)
-            except Exception:
-                self._done[task_id] = (False, traceback.format_exc())
+            except Exception as exc:
+                self._done[task_id] = (False, _ship_error(exc))
             self.stats.tasks += 1
             self.stats.inline_tasks += 1
             self.stats.pickled_bytes += len(view)
@@ -468,9 +495,7 @@ class ParallelEngine:
             self.stats.drain_seconds += time.monotonic() - t0
         ok, payload = self._done.pop(task_id)
         if not ok:
-            raise EngineError(
-                f"parallel worker failed:\n{payload}"
-            )
+            _raise_task_error(payload)
         return payload
 
     def _collect_one(self) -> None:

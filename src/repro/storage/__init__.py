@@ -22,11 +22,25 @@ Format (PRIF, little-endian)::
              in-memory container's records)
     footer:  chunk table (offset, length, n_values, inline-index flag,
              index-base chunk) | tail bytes | total length
-    trailer: uvarint-free fixed 12 bytes: footer length (u64) + "PRIE"
+    trailer: uvarint-free fixed 16 bytes: footer length (u64) +
+             CRC-32 of header+footer (u32) + "PRIE"
+
+Robustness: decoding is fully bounds-checked (typed
+:class:`~repro.compressors.base.CorruptionError` /
+:class:`~repro.compressors.base.TruncationError` on any malformed
+input), path writes are staged in ``*.tmp`` and published with
+fsync + atomic rename, and :mod:`repro.storage.verify` provides
+``fsck``/``salvage`` for damaged files.
 """
 
 from repro.storage.format import FileInfo, ChunkEntry
 from repro.storage.reader import PrimacyFileReader
+from repro.storage.verify import (
+    FsckReport,
+    SalvageResult,
+    fsck,
+    salvage_prif,
+)
 from repro.storage.writer import PrimacyFileWriter
 
 __all__ = [
@@ -34,4 +48,8 @@ __all__ = [
     "PrimacyFileReader",
     "FileInfo",
     "ChunkEntry",
+    "FsckReport",
+    "SalvageResult",
+    "fsck",
+    "salvage_prif",
 ]

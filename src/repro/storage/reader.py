@@ -6,6 +6,13 @@ requested value range.  Index-reuse chains are resolved from record
 from the chunk's ``index_base`` (recorded in the footer) forward, parsing
 just the index sections of the intermediate records -- no payload
 decompression -- to rebuild the index in effect.
+
+Every metadata field is validated on open (typed
+:class:`CorruptionError` / :class:`TruncationError`, with the trailer
+CRC covering header + footer), and record decoding failures are
+normalized to :class:`CorruptionError` carrying the chunk id -- a
+damaged file can never surface as an ``IndexError`` from deep inside the
+pipeline.
 """
 
 from __future__ import annotations
@@ -17,23 +24,28 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.compressors.base import CodecError
+from repro.compressors.base import CodecError, CorruptionError, TruncationError
 from repro.core.idmap import FrequencyIndex
 from repro.core.primacy import (
     PrimacyCompressor,
     chunk_record_index_section,
 )
 from repro.storage.format import (
-    END_MAGIC,
+    TRAILER_BYTES,
     ChunkEntry,
     FileInfo,
     decode_footer,
     decode_header,
+    decode_trailer,
 )
+from repro.util.checksum import crc32
 
 __all__ = ["PrimacyFileReader"]
 
-_TRAILER_BYTES = 12
+# Initial header window; doubled until the header parses or the whole
+# pre-footer region has been read (headers are tiny, but codec/policy
+# names make them variable-length, so no fixed cap is correct).
+_HEADER_PROBE_BYTES = 4096
 
 
 class PrimacyFileReader:
@@ -49,12 +61,23 @@ class PrimacyFileReader:
             self._fh = source
             self._owns_fh = False
         self._load_metadata()
-        self._compressor = PrimacyCompressor(self.info.config)
+        try:
+            self._compressor = PrimacyCompressor(self.info.config)
+        except (KeyError, ValueError) as exc:
+            # Unknown codec / inconsistent widths: the header decoded but
+            # does not describe a constructible pipeline.
+            raise CorruptionError(
+                f"PRIF header names an unusable pipeline: {exc}",
+                region="header",
+            ) from exc
         # Cumulative value counts for chunk lookup by value position.
         counts = [c.n_values for c in self.info.chunks]
         self._cum_values = np.concatenate(
             [[0], np.cumsum(counts, dtype=np.int64)]
         )
+        # bisect needs a plain list; converting per read_values call is
+        # O(n_chunks) each time, so do it exactly once.
+        self._cum_list: list[int] = self._cum_values.tolist()
         self._index_cache: dict[int, FrequencyIndex] = {}
 
     # ------------------------------------------------------------------
@@ -63,28 +86,89 @@ class PrimacyFileReader:
         fh = self._fh
         fh.seek(0, io.SEEK_END)
         size = fh.tell()
-        if size < _TRAILER_BYTES + 4:
-            raise CodecError("file too small to be PRIF")
-        fh.seek(size - _TRAILER_BYTES)
-        trailer = fh.read(_TRAILER_BYTES)
-        if trailer[8:] != END_MAGIC:
-            raise CodecError("missing PRIF end marker")
-        footer_len = int.from_bytes(trailer[:8], "little")
-        footer_start = size - _TRAILER_BYTES - footer_len
-        if footer_start < 0:
-            raise CodecError("corrupt PRIF footer length")
+        if size < TRAILER_BYTES + 6:
+            raise TruncationError(
+                "file too small to be PRIF", region="trailer", offset=size
+            )
+        fh.seek(size - TRAILER_BYTES)
+        trailer = fh.read(TRAILER_BYTES)
+        footer_len, metadata_crc = decode_trailer(trailer)
+        footer_start = size - TRAILER_BYTES - footer_len
+        if footer_start < 6:
+            raise CorruptionError(
+                f"PRIF footer length {footer_len} exceeds the file",
+                region="trailer",
+            )
         fh.seek(footer_start)
         footer = fh.read(footer_len)
-        chunks, tail, total_bytes = decode_footer(footer)
-        fh.seek(0)
-        header = fh.read(min(footer_start, 4096))
+        if len(footer) != footer_len:
+            raise TruncationError("truncated PRIF footer", region="footer")
+
+        header, header_len = self._read_header(footer_start)
+        if crc32(footer, value=crc32(header[:header_len])) != metadata_crc:
+            raise CorruptionError(
+                "PRIF metadata checksum mismatch (header or footer corrupt)",
+                region="metadata",
+            )
         config, _ = decode_header(header)
+        chunks, tail, total_bytes = decode_footer(footer)
+        self._validate_geometry(chunks, header_len, footer_start, config, tail,
+                                total_bytes)
         self.info = FileInfo(
             config=config,
             chunks=tuple(chunks),
             tail=tail,
             total_bytes=total_bytes,
         )
+        self._header_len = header_len
+
+    def _read_header(self, footer_start: int) -> tuple[bytes, int]:
+        """Read and parse the header, growing the window as needed."""
+        fh = self._fh
+        window = min(footer_start, _HEADER_PROBE_BYTES)
+        while True:
+            fh.seek(0)
+            header = fh.read(window)
+            try:
+                _, header_len = decode_header(header)
+                return header, header_len
+            except TruncationError:
+                if window >= footer_start:
+                    raise
+                window = min(footer_start, window * 2)
+
+    @staticmethod
+    def _validate_geometry(
+        chunks: list[ChunkEntry],
+        header_len: int,
+        footer_start: int,
+        config,
+        tail: bytes,
+        total_bytes: int,
+    ) -> None:
+        """Cross-check the chunk table against the file's actual extent."""
+        if chunks:
+            if chunks[0].offset < header_len:
+                raise CorruptionError(
+                    f"chunk 0 offset {chunks[0].offset} lies inside the "
+                    f"{header_len}-byte header",
+                    region="chunk-table",
+                )
+            last = chunks[-1]
+            if last.offset + last.length > footer_start:
+                raise CorruptionError(
+                    f"chunk {len(chunks) - 1} extends past the footer "
+                    f"(ends {last.offset + last.length}, footer at "
+                    f"{footer_start})",
+                    region="chunk-table",
+                )
+        covered = sum(c.n_values for c in chunks) * config.word_bytes
+        if covered + len(tail) != total_bytes:
+            raise CorruptionError(
+                f"chunk table covers {covered} bytes + {len(tail)} tail "
+                f"but total length says {total_bytes}",
+                region="chunk-table",
+            )
 
     # ------------------------------------------------------------------
 
@@ -103,7 +187,7 @@ class PrimacyFileReader:
         parts = [self._read_chunk(i) for i in range(self.n_chunks)]
         out = b"".join(parts) + self.info.tail
         if len(out) != self.info.total_bytes:
-            raise CodecError("PRIF length mismatch")
+            raise CorruptionError("PRIF length mismatch")
         return out
 
     def read_values(self, start: int, count: int) -> bytes:
@@ -118,11 +202,11 @@ class PrimacyFileReader:
         if count == 0:
             return b""
         word = self.info.config.word_bytes
-        first = bisect_right(self._cum_values.tolist(), start) - 1
-        last = bisect_right(self._cum_values.tolist(), start + count - 1) - 1
+        first = bisect_right(self._cum_list, start) - 1
+        last = bisect_right(self._cum_list, start + count - 1) - 1
         parts = [self._read_chunk(i) for i in range(first, last + 1)]
         blob = b"".join(parts)
-        offset = (start - int(self._cum_values[first])) * word
+        offset = (start - self._cum_list[first]) * word
         return blob[offset : offset + count * word]
 
     # ------------------------------------------------------------------
@@ -132,7 +216,11 @@ class PrimacyFileReader:
         self._fh.seek(entry.offset)
         record = self._fh.read(entry.length)
         if len(record) != entry.length:
-            raise CodecError("truncated chunk record")
+            raise TruncationError(
+                f"chunk {chunk_id} record truncated",
+                region=f"chunk[{chunk_id}]",
+                offset=entry.offset,
+            )
         return record
 
     def _index_for(self, chunk_id: int) -> FrequencyIndex | None:
@@ -149,32 +237,64 @@ class PrimacyFileReader:
         base = entry.index_base
         index = self._index_cache.get(base)
         if index is None:
-            inline, index, _ = chunk_record_index_section(
-                self._record(base), high_bytes
-            )
+            inline, index, _ = self._index_section(base, high_bytes)
             if not inline:
-                raise CodecError("PRIF index chain has no inline root")
+                raise CorruptionError(
+                    "PRIF index chain has no inline root",
+                    region=f"chunk[{base}]",
+                )
             self._index_cache[base] = index
         for mid in range(base + 1, chunk_id):
             cached = self._index_cache.get(mid)
             if cached is not None:
                 index = cached
                 continue
-            inline, section, _ = chunk_record_index_section(
-                self._record(mid), high_bytes
-            )
+            inline, section, _ = self._index_section(mid, high_bytes)
             if inline:
-                raise CodecError("PRIF reuse chain crosses an inline index")
+                raise CorruptionError(
+                    "PRIF reuse chain crosses an inline index",
+                    region=f"chunk[{mid}]",
+                )
             index = index.extended(section)
             self._index_cache[mid] = index
         return index
 
+    def _index_section(self, chunk_id: int, high_bytes: int):
+        try:
+            return chunk_record_index_section(
+                self._record(chunk_id), high_bytes
+            )
+        except CodecError as exc:
+            self._tag(exc, chunk_id)
+            raise
+
     def _read_chunk(self, chunk_id: int) -> bytes:
         record = self._record(chunk_id)
         current = self._index_for(chunk_id)
-        chunk, index_after = self._compressor.decompress_chunk(record, current)
+        try:
+            chunk, index_after = self._compressor.decompress_chunk(
+                record, current
+            )
+        except CodecError as exc:
+            self._tag(exc, chunk_id)
+            raise
+        entry = self.info.chunks[chunk_id]
+        if len(chunk) != entry.n_values * self.info.config.word_bytes:
+            raise CorruptionError(
+                f"chunk {chunk_id} decoded to {len(chunk)} bytes but the "
+                f"chunk table promises {entry.n_values} values",
+                region=f"chunk[{chunk_id}]",
+                offset=entry.offset,
+            )
         self._index_cache[chunk_id] = index_after
         return chunk
+
+    def _tag(self, exc: CodecError, chunk_id: int) -> None:
+        """Attach chunk location to a decode error that lacks one."""
+        if isinstance(exc, CorruptionError) and exc.region is None:
+            exc.region = f"chunk[{chunk_id}]"
+            if exc.offset is None:
+                exc.offset = self.info.chunks[chunk_id].offset
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,447 @@
+"""Integrity checking (fsck) and recovery (salvage) for PRIF/PRCK files.
+
+``fsck`` walks an artifact the way a paranoid reader would -- header,
+trailer, metadata CRC, chunk table, every record (decoded and
+checksummed), geometry cross-checks -- and reports *where* it diverges
+instead of merely throwing.  ``salvage`` is the graceful-degradation
+read: it recovers every chunk that is still reachable from an intact
+index-reuse chain root, from files that are truncated (no footer at
+all) or partially corrupt (footer intact, some records damaged).
+
+Both power the ``primacy fsck`` / ``primacy salvage`` CLI subcommands
+and the fault-injection suite under ``tests/faults``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.compressors.base import CodecError, CorruptionError, TruncationError
+from repro.core.idmap import FrequencyIndex
+from repro.core.primacy import PrimacyCompressor
+from repro.storage.format import MAGIC, TRAILER_BYTES, decode_header
+from repro.storage.reader import PrimacyFileReader
+from repro.util.varint import decode_uvarint
+
+__all__ = [
+    "Finding",
+    "FsckReport",
+    "ChunkStatus",
+    "SalvageResult",
+    "fsck",
+    "fsck_prif",
+    "fsck_prck",
+    "salvage_prif",
+]
+
+_PRCK_MAGIC = b"PRCK"
+
+
+# --------------------------------------------------------------------- #
+# reports                                                                #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One localized integrity violation."""
+
+    region: str  # "header", "trailer", "metadata", "chunk[3]", ...
+    message: str
+    offset: int | None = None  # absolute byte offset when known
+
+    def __str__(self) -> str:
+        where = f" @ byte {self.offset}" if self.offset is not None else ""
+        return f"[{self.region}{where}] {self.message}"
+
+
+@dataclass
+class FsckReport:
+    """Everything fsck learned about one artifact."""
+
+    format: str  # "PRIF" | "PRCK" | "unknown"
+    findings: list[Finding] = field(default_factory=list)
+    n_chunks: int = 0  # chunks (PRIF) or segments (PRCK) present
+    n_chunks_ok: int = 0  # of those, how many verified end to end
+
+    @property
+    def ok(self) -> bool:
+        """True when no integrity violation was found."""
+        return not self.findings
+
+    @property
+    def first_divergence(self) -> Finding | None:
+        """The first (lowest-level) violation, or None."""
+        return self.findings[0] if self.findings else None
+
+    def add(self, region: str, message: str, offset: int | None = None) -> None:
+        """Record one violation."""
+        self.findings.append(Finding(region=region, message=message, offset=offset))
+
+    def add_error(self, exc: CodecError, fallback_region: str) -> None:
+        """Record a typed decode error, reusing its location when present."""
+        region = getattr(exc, "region", None) or fallback_region
+        self.add(region, str(exc), getattr(exc, "offset", None))
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"{self.format}: "
+            + ("clean" if self.ok else f"{len(self.findings)} problem(s)"),
+            f"chunks verified: {self.n_chunks_ok}/{self.n_chunks}",
+        ]
+        lines += [str(f) for f in self.findings]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChunkStatus:
+    """Salvage outcome for one chunk."""
+
+    chunk_id: int
+    value_start: int  # first value index this chunk covers
+    n_values: int
+    recovered: bool
+    reason: str = ""  # why recovery failed, when it did
+
+
+@dataclass
+class SalvageResult:
+    """What salvage pulled out of a damaged file."""
+
+    mode: str  # "footer" (table intact) or "scan" (forward walk)
+    chunks: list[ChunkStatus] = field(default_factory=list)
+    data: bytes = b""  # recovered chunk bytes, concatenated in order
+    tail: bytes = b""  # sub-word tail (only recoverable in footer mode)
+    complete: bool = False  # everything (incl. tail) came back
+
+    @property
+    def n_recovered(self) -> int:
+        """Chunks recovered."""
+        return sum(1 for c in self.chunks if c.recovered)
+
+    @property
+    def values_recovered(self) -> int:
+        """Values recovered across all chunks."""
+        return sum(c.n_values for c in self.chunks if c.recovered)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"salvage ({self.mode} mode): {self.n_recovered}/"
+            f"{len(self.chunks)} chunks, {self.values_recovered} values, "
+            f"{len(self.data) + len(self.tail)} bytes"
+            + (" (complete)" if self.complete else ""),
+        ]
+        for c in self.chunks:
+            state = "ok" if c.recovered else f"LOST ({c.reason})"
+            lines.append(
+                f"  chunk {c.chunk_id}: values "
+                f"[{c.value_start}, {c.value_start + c.n_values}) {state}"
+            )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# fsck                                                                   #
+# --------------------------------------------------------------------- #
+
+
+def _open(source) -> tuple[io.BufferedIOBase, bool]:
+    if isinstance(source, (str, os.PathLike)):
+        return open(Path(source), "rb"), True
+    return source, False
+
+
+def fsck(source: str | os.PathLike | io.BufferedIOBase) -> FsckReport:
+    """Verify a PRIF or PRCK artifact (sniffed from its magic)."""
+    fh, owns = _open(source)
+    try:
+        fh.seek(0)
+        magic = fh.read(4)
+        if magic == MAGIC:
+            return fsck_prif(fh)
+        if magic == _PRCK_MAGIC:
+            return fsck_prck(fh)
+        report = FsckReport(format="unknown")
+        report.add("header", f"unrecognized magic {magic!r}", 0)
+        return report
+    finally:
+        if owns:
+            fh.close()
+
+
+def fsck_prif(source: str | os.PathLike | io.BufferedIOBase) -> FsckReport:
+    """Verify one PRIF stream end to end.
+
+    Stage order mirrors trust order: trailer -> metadata CRC -> header +
+    footer structure -> chunk-table geometry (all inside the reader's
+    constructor), then record framing and every chunk's payload.  The
+    first finding is therefore the first divergence a reader hits.
+    """
+    report = FsckReport(format="PRIF")
+    fh, owns = _open(source)
+    try:
+        try:
+            reader = PrimacyFileReader(fh)
+        except CodecError as exc:
+            report.add_error(exc, "metadata")
+            return report
+        report.n_chunks = reader.n_chunks
+        _check_record_framing(fh, reader, report)
+        for cid in range(reader.n_chunks):
+            entry = reader.info.chunks[cid]
+            try:
+                reader._read_chunk(cid)
+            except CodecError as exc:
+                report.add_error(exc, f"chunk[{cid}]")
+            else:
+                report.n_chunks_ok += 1
+        return report
+    finally:
+        if owns:
+            fh.close()
+
+
+def _check_record_framing(fh, reader: PrimacyFileReader, report: FsckReport) -> None:
+    """Verify each record's varint length prefix against the chunk table.
+
+    The reader never consults the prefixes (it seeks by table offsets),
+    so a flipped prefix byte is invisible to reads -- but it makes the
+    body unwalkable without the footer, which is exactly what salvage
+    relies on.  fsck flags it.
+    """
+    pos = reader._header_len
+    for cid, entry in enumerate(reader.info.chunks):
+        fh.seek(pos)
+        prefix = fh.read(entry.offset - pos)
+        try:
+            length, consumed = decode_uvarint(prefix, 0)
+        except ValueError:
+            report.add(
+                f"prefix[{cid}]",
+                f"record {cid} length prefix is undecodable",
+                pos,
+            )
+            pos = entry.offset + entry.length
+            continue
+        if consumed != len(prefix) or length != entry.length:
+            report.add(
+                f"prefix[{cid}]",
+                f"record {cid} length prefix says {length}, chunk table "
+                f"says {entry.length}",
+                pos,
+            )
+        pos = entry.offset + entry.length
+
+
+def fsck_prck(source: str | os.PathLike | io.BufferedIOBase) -> FsckReport:
+    """Verify a PRCK checkpoint: manifest, then every segment as PRIF."""
+    # Imported here: checkpoint.manager imports repro.storage at module
+    # load, so the reverse import must stay inside the function.
+    from repro.checkpoint.manager import CheckpointReader
+
+    report = FsckReport(format="PRCK")
+    fh, owns = _open(source)
+    try:
+        try:
+            reader = CheckpointReader(fh)
+        except CodecError as exc:
+            report.add_error(exc, "manifest")
+            return report
+        entries = reader._entries
+        report.n_chunks = len(entries)
+        for entry in entries:
+            fh.seek(entry.offset)
+            blob = fh.read(entry.length)
+            label = f"segment[{entry.step}/{entry.name}]"
+            if len(blob) != entry.length:
+                report.add(label, "segment truncated", entry.offset)
+                continue
+            sub = fsck_prif(io.BytesIO(blob))
+            if sub.ok:
+                try:
+                    reader.read(entry.step, entry.name)
+                except CodecError as exc:
+                    report.add_error(exc, label)
+                    continue
+                report.n_chunks_ok += 1
+            else:
+                for f in sub.findings:
+                    offset = (
+                        entry.offset + f.offset if f.offset is not None else None
+                    )
+                    report.add(f"{label}.{f.region}", f.message, offset)
+        return report
+    finally:
+        if owns:
+            fh.close()
+
+
+# --------------------------------------------------------------------- #
+# salvage                                                                #
+# --------------------------------------------------------------------- #
+
+
+def salvage_prif(
+    source: str | os.PathLike | io.BufferedIOBase,
+    dest: str | os.PathLike | io.BufferedIOBase | None = None,
+) -> SalvageResult:
+    """Recover whatever is still readable from a damaged PRIF file.
+
+    Two strategies, tried in order:
+
+    * **footer mode** -- the trailer/footer/CRC survived: decode every
+      chunk independently through the table; a damaged record loses only
+      itself and the reused-index chunks chained onto it (chunks after
+      the damage with their own inline index still come back).
+    * **scan mode** -- the metadata is gone (classic kill-mid-write
+      truncation): walk the body forward from the header, record by
+      record via the varint length prefixes, keeping everything that
+      decodes; stop at the first record that does not.
+
+    When ``dest`` is given the recovered bytes (chunks in order, then
+    the tail if recovered) are written there -- atomically for paths.
+    """
+    fh, owns = _open(source)
+    try:
+        try:
+            result = _salvage_with_footer(fh)
+        except CodecError:
+            result = _salvage_by_scan(fh)
+        if dest is not None:
+            _write_out(dest, result.data + result.tail)
+        return result
+    finally:
+        if owns:
+            fh.close()
+
+
+def _salvage_with_footer(fh) -> SalvageResult:
+    """Footer mode: the chunk table is trustworthy, records may not be."""
+    reader = PrimacyFileReader(fh)  # raises CodecError if metadata damaged
+    result = SalvageResult(mode="footer")
+    parts: list[bytes] = []
+    value_start = 0
+    all_ok = True
+    for cid in range(reader.n_chunks):
+        entry = reader.info.chunks[cid]
+        try:
+            chunk = reader._read_chunk(cid)
+        except CodecError as exc:
+            all_ok = False
+            result.chunks.append(
+                ChunkStatus(
+                    chunk_id=cid,
+                    value_start=value_start,
+                    n_values=entry.n_values,
+                    recovered=False,
+                    reason=str(exc),
+                )
+            )
+        else:
+            parts.append(chunk)
+            result.chunks.append(
+                ChunkStatus(
+                    chunk_id=cid,
+                    value_start=value_start,
+                    n_values=entry.n_values,
+                    recovered=True,
+                )
+            )
+        value_start += entry.n_values
+    result.data = b"".join(parts)
+    result.tail = reader.info.tail
+    result.complete = all_ok
+    return result
+
+
+def _salvage_by_scan(fh) -> SalvageResult:
+    """Scan mode: no trustworthy footer; walk records forward.
+
+    Maintains the index-reuse chain state exactly like a sequential
+    reader, so reused-index records decode as long as their chain is
+    unbroken.  The walk ends at the first record that fails to frame or
+    decode -- past that point record boundaries cannot be trusted.
+    """
+    fh.seek(0, io.SEEK_END)
+    size = fh.tell()
+    header, header_len, compressor = _scan_header(fh, size)
+    result = SalvageResult(mode="scan")
+    word = compressor.config.word_bytes
+    pos = header_len
+    value_start = 0
+    parts: list[bytes] = []
+    current_index: FrequencyIndex | None = None
+    cid = 0
+    while pos < size:
+        fh.seek(pos)
+        prefix = fh.read(10)
+        try:
+            record_len, consumed = decode_uvarint(prefix, 0)
+        except ValueError:
+            break  # ran off the end / into the damaged region
+        if record_len < 1 or pos + consumed + record_len > size:
+            break
+        fh.seek(pos + consumed)
+        record = fh.read(record_len)
+        try:
+            chunk, current_index = compressor.decompress_chunk(
+                record, current_index
+            )
+        except CodecError:
+            break
+        parts.append(chunk)
+        result.chunks.append(
+            ChunkStatus(
+                chunk_id=cid,
+                value_start=value_start,
+                n_values=len(chunk) // word,
+                recovered=True,
+            )
+        )
+        value_start += len(chunk) // word
+        pos += consumed + record_len
+        cid += 1
+    result.data = b"".join(parts)
+    return result
+
+
+def _scan_header(fh, size: int):
+    """Incrementally parse the header for scan-mode salvage."""
+    window = 4096
+    while True:
+        fh.seek(0)
+        header = fh.read(min(window, size))
+        try:
+            config, header_len = decode_header(header)
+        except TruncationError:
+            if window >= size:
+                raise
+            window *= 2
+            continue
+        try:
+            return header, header_len, PrimacyCompressor(config)
+        except (KeyError, ValueError) as exc:
+            raise CorruptionError(
+                f"PRIF header names an unusable pipeline: {exc}",
+                region="header",
+            ) from exc
+
+
+def _write_out(dest, data: bytes) -> None:
+    if isinstance(dest, (str, os.PathLike)):
+        from repro.util.durable import AtomicFile
+
+        out = AtomicFile(Path(dest))
+        try:
+            out.write(data)
+        except BaseException:
+            out.discard()
+            raise
+        out.commit()
+    else:
+        dest.write(data)

@@ -31,7 +31,13 @@ from repro.core.primacy import (
     PrimacyConfig,
     PrimacyStats,
 )
-from repro.storage.format import ChunkEntry, encode_footer, encode_header
+from repro.storage.format import (
+    ChunkEntry,
+    encode_footer,
+    encode_header,
+    encode_trailer,
+)
+from repro.util.durable import AtomicFile
 from repro.util.varint import encode_uvarint
 
 __all__ = ["PrimacyFileWriter"]
@@ -54,6 +60,11 @@ class PrimacyFileWriter:
     engine:
         Share an existing :class:`repro.parallel.ParallelEngine`
         (e.g. across checkpoint segments); the caller owns its lifetime.
+    durable:
+        For path targets (default on): stage bytes in ``<target>.tmp``
+        and atomically rename onto ``target`` at :meth:`close` (after
+        fsync), so a crash mid-write never leaves a file a reader could
+        mistake for complete.  Ignored for file-object targets.
     """
 
     def __init__(
@@ -63,10 +74,16 @@ class PrimacyFileWriter:
         *,
         workers: int | None = None,
         engine=None,
+        durable: bool = True,
     ) -> None:
         self.config = config or PrimacyConfig()
+        self._atomic: AtomicFile | None = None
         if isinstance(target, (str, os.PathLike)):
-            self._fh = open(Path(target), "wb")
+            if durable:
+                self._atomic = AtomicFile(Path(target))
+                self._fh = self._atomic
+            else:
+                self._fh = open(Path(target), "wb")
             self._owns_fh = True
         else:
             self._fh = target
@@ -96,9 +113,9 @@ class PrimacyFileWriter:
         self._closed = False
         self.stats = PrimacyStats()
 
-        header = encode_header(self.config)
-        self._fh.write(header)
-        self._pos = len(header)
+        self._header = encode_header(self.config)
+        self._fh.write(self._header)
+        self._pos = len(self._header)
 
     # ------------------------------------------------------------------
 
@@ -113,7 +130,13 @@ class PrimacyFileWriter:
             self._emit_chunk(chunk_bytes)
 
     def close(self) -> None:
-        """Flush the final partial chunk, write the footer, close the file."""
+        """Flush the final partial chunk, write the footer, close the file.
+
+        For durable path targets this is also the *publication* point:
+        the staged ``.tmp`` file is fsynced and atomically renamed onto
+        the target name only after the complete footer and trailer are
+        on disk.
+        """
         if self._closed:
             return
         word = self.config.word_bytes
@@ -122,12 +145,34 @@ class PrimacyFileWriter:
             self._emit_chunk(usable)
         tail = bytes(self._buffer)
         self._drain(0)
-        self._fh.write(encode_footer(self._chunks, tail, self._total_bytes))
+        footer = encode_footer(self._chunks, tail, self._total_bytes)
+        self._fh.write(footer)
+        self._fh.write(encode_trailer(self._header, footer))
         self.stats.container_bytes = self._pos
         self.stats.original_bytes = self._total_bytes
         if self._owns_engine:
             self._engine.close()
-        if self._owns_fh:
+        if self._atomic is not None:
+            self._atomic.commit()
+        elif self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Abandon the write: no footer, and no published file.
+
+        Called by ``__exit__`` when the body raised; a durable target is
+        left exactly as it was before the writer opened, and a plain
+        file target keeps its (footer-less, hence unreadable) bytes.
+        """
+        if self._closed:
+            return
+        self._inflight.clear()
+        if self._owns_engine:
+            self._engine.close()
+        if self._atomic is not None:
+            self._atomic.discard()
+        elif self._owns_fh:
             self._fh.close()
         self._closed = True
 
@@ -187,8 +232,13 @@ class PrimacyFileWriter:
     def __enter__(self) -> "PrimacyFileWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Finalizing a half-written stream after an exception would
+        # publish a file that *looks* complete; abort instead.
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
     @property
     def n_chunks(self) -> int:

@@ -7,6 +7,8 @@ subsystem relies on:
 * :mod:`repro.util.buffers` -- zero-copy byte-view normalization.
 * :mod:`repro.util.varint` -- LEB128-style variable-length integers.
 * :mod:`repro.util.checksum` -- from-scratch CRC-32 and Adler-32.
+* :mod:`repro.util.durable` -- atomic tmp+fsync+rename publication and
+  transient-I/O retry.
 * :mod:`repro.util.entropy` -- Shannon entropy and repeatability metrics.
 * :mod:`repro.util.timing` -- throughput timers used by the benchmark
   harness and the model calibrator.
@@ -15,6 +17,7 @@ subsystem relies on:
 from repro.util.bitio import BitReader, BitWriter, pack_bits, unpack_bits
 from repro.util.buffers import as_view
 from repro.util.checksum import adler32, crc32
+from repro.util.durable import AtomicFile, fsync_directory, retry_io
 from repro.util.entropy import (
     byte_entropy,
     byte_histogram,
@@ -37,6 +40,9 @@ __all__ = [
     "unpack_bits",
     "adler32",
     "crc32",
+    "AtomicFile",
+    "fsync_directory",
+    "retry_io",
     "byte_entropy",
     "byte_histogram",
     "normalized_entropy",

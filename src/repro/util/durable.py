@@ -1,0 +1,126 @@
+"""Atomic durable file publication and transient-I/O retry helpers.
+
+The checkpoint-every-N-steps pattern the paper targets is only useful if
+a crash mid-write can never be mistaken for a finished artifact.  The
+discipline here is the classic one:
+
+1. write everything to ``<final>.tmp`` in the same directory;
+2. ``fsync`` the tmp file so the *bytes* are durable;
+3. ``os.replace`` it onto the final name (atomic on POSIX);
+4. ``fsync`` the directory so the *name* is durable.
+
+A reader therefore only ever sees either the previous complete file or
+the new complete file; a process killed at any point leaves at most a
+stale ``*.tmp`` that no reader opens.
+
+:func:`retry_io` wraps individual writes against *transient* OS errors
+(``EINTR``/``EAGAIN``, which real network filesystems do surface) with
+bounded exponential backoff; persistent errors propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from pathlib import Path
+
+__all__ = ["TMP_SUFFIX", "AtomicFile", "fsync_directory", "retry_io"]
+
+TMP_SUFFIX = ".tmp"
+
+#: errno values worth retrying: the call may succeed if simply re-issued.
+_TRANSIENT_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN, errno.EWOULDBLOCK})
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """fsync a directory so a rename into it is durable (POSIX best effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. O_RDONLY on dirs unsupported
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all filesystems support it
+        pass
+    finally:
+        os.close(fd)
+
+
+def retry_io(fn, *args, attempts: int = 5, backoff: float = 0.002):
+    """Call ``fn(*args)``, retrying transient ``OSError``s with backoff.
+
+    Retries only errno values in the transient set, at most ``attempts``
+    times total, sleeping ``backoff * 2**i`` between tries.  Any other
+    error -- or a transient one that persists -- propagates.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    for attempt in range(attempts):
+        try:
+            return fn(*args)
+        except OSError as exc:
+            if exc.errno not in _TRANSIENT_ERRNOS or attempt == attempts - 1:
+                raise
+            time.sleep(backoff * (2**attempt))
+
+
+class AtomicFile:
+    """A write-only binary file published atomically on :meth:`commit`.
+
+    Opens ``<path>.tmp`` for writing.  :meth:`commit` fsyncs, closes, and
+    renames it over ``path`` (then fsyncs the directory); :meth:`discard`
+    closes and unlinks the tmp file instead.  Exactly one of the two must
+    be called; writers call ``discard`` from their error paths so a
+    failed write can never surface as a complete artifact.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.tmp_path = self.path.with_name(self.path.name + TMP_SUFFIX)
+        self._fh = open(self.tmp_path, "wb")
+        self._finished = False
+
+    # file-object protocol subset used by the writers ------------------
+
+    def write(self, data) -> int:
+        """Write to the staging file (with transient-error retry)."""
+        return retry_io(self._fh.write, data)
+
+    def flush(self) -> None:
+        """Flush Python buffers to the OS."""
+        self._fh.flush()
+
+    def seekable(self) -> bool:  # pragma: no cover - parity with files
+        """Staging files are ordinary seekable files."""
+        return self._fh.seekable()
+
+    def tell(self) -> int:
+        """Position in the staging file."""
+        return self._fh.tell()
+
+    # publication ------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make the staged bytes the durable content of ``path``."""
+        if self._finished:
+            return
+        self._fh.flush()
+        retry_io(os.fsync, self._fh.fileno())
+        self._fh.close()
+        os.replace(self.tmp_path, self.path)
+        fsync_directory(self.path.parent)
+        self._finished = True
+
+    def discard(self) -> None:
+        """Drop the staged bytes; ``path`` is left untouched."""
+        if self._finished:
+            return
+        try:
+            self._fh.close()
+        finally:
+            try:
+                os.unlink(self.tmp_path)
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._finished = True

@@ -1,0 +1,143 @@
+"""Reusable fault-injection primitives for the storage fault suite.
+
+Three damage models, matching how storage actually fails:
+
+* **bit rot** -- :func:`iter_byte_flips` / :func:`flip_byte` produce
+  every (or a sampled subset of) single-byte corruption of an artifact;
+* **truncation** -- :func:`truncation_points` enumerates cut points,
+  guaranteed to include every varint-prefix boundary (the spots where a
+  naive length-prefixed walk is most easily fooled);
+* **kill mid-write** -- :func:`run_until_killed` runs a writer script in
+  a subprocess and SIGKILLs it partway through, reproducing the classic
+  crash-during-checkpoint scenario without mocking the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.util.varint import decode_uvarint
+
+__all__ = [
+    "flip_byte",
+    "iter_byte_flips",
+    "truncation_points",
+    "varint_boundaries",
+    "run_until_killed",
+]
+
+
+def flip_byte(data: bytes, offset: int, mask: int = 0xFF) -> bytes:
+    """Return ``data`` with the byte at ``offset`` XORed by ``mask``."""
+    if not 0 <= offset < len(data):
+        raise ValueError(f"offset {offset} outside [0, {len(data)})")
+    if not 1 <= mask <= 0xFF:
+        raise ValueError("mask must actually change the byte")
+    out = bytearray(data)
+    out[offset] ^= mask
+    return bytes(out)
+
+
+def iter_byte_flips(
+    data: bytes, *, stride: int = 1, mask: int = 0xFF
+) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(offset, corrupted_copy)`` for every ``stride``-th byte.
+
+    ``stride=1`` is the exhaustive sweep; larger strides sample evenly
+    across the artifact (the first and last byte are always included so
+    magic and trailer damage is never skipped).
+    """
+    offsets = list(range(0, len(data), stride))
+    if offsets and offsets[-1] != len(data) - 1:
+        offsets.append(len(data) - 1)
+    for offset in offsets:
+        yield offset, flip_byte(data, offset, mask)
+
+
+def varint_boundaries(data: bytes, start: int) -> list[int]:
+    """Offsets of every record boundary in a varint length-prefixed walk.
+
+    Starting at ``start`` (first record prefix), returns the offset of
+    each prefix, each record start, and each record end -- the exact
+    positions where truncation interacts with framing.  The walk stops
+    as soon as a prefix fails to decode or runs past the buffer.
+    """
+    points: list[int] = []
+    pos = start
+    while pos < len(data):
+        points.append(pos)
+        try:
+            length, consumed = decode_uvarint(data, pos)
+        except ValueError:
+            break
+        points.append(pos + consumed)
+        pos += consumed + length
+        points.append(pos)
+    return sorted({p for p in points if p <= len(data)})
+
+
+def truncation_points(
+    data: bytes, *, stride: int = 1, body_start: int = 0
+) -> list[int]:
+    """Cut lengths to test: sampled evenly plus every varint boundary.
+
+    ``stride=1`` returns every prefix length ``0..len(data)-1``.  With a
+    larger stride the sweep is sampled, but the framing-critical offsets
+    from :func:`varint_boundaries` (and ``body_start`` itself) are always
+    kept, as are the final ``TRAILER``-sized cuts where metadata dies
+    byte by byte.
+    """
+    n = len(data)
+    cuts = set(range(0, n, stride))
+    cuts.update(range(max(0, n - 20), n))  # trailer dies byte by byte
+    if body_start:
+        cuts.update(p for p in varint_boundaries(data, body_start) if p < n)
+        cuts.add(body_start)
+    return sorted(c for c in cuts if 0 <= c < n)
+
+
+def run_until_killed(
+    script: str,
+    *,
+    ready_file: Path,
+    kill_after: float = 0.0,
+    timeout: float = 30.0,
+) -> int:
+    """Run ``script`` with the current interpreter, SIGKILL it mid-run.
+
+    The script must create ``ready_file`` once it has started the work
+    that should be interrupted (so the kill lands *during* the write,
+    not before it).  ``kill_after`` adds an extra delay after readiness,
+    letting callers sweep the kill across different write phases.
+    Returns the process's exit code (negative signal number).
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+    try:
+        deadline = time.monotonic() + timeout
+        while not ready_file.exists():
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"writer exited ({proc.returncode}) before signalling "
+                    "readiness -- kill would not land mid-write"
+                )
+            if time.monotonic() > deadline:
+                raise AssertionError("writer never signalled readiness")
+            time.sleep(0.001)
+        if kill_after:
+            time.sleep(kill_after)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=timeout)
+        return proc.returncode
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=timeout)

@@ -201,16 +201,27 @@ class TestEngineInternals:
             # max_pending + 1 segments, ever.
             assert len(engine._all_shm) <= engine.max_pending + 1
 
-    def test_worker_error_propagates_with_traceback(self):
+    def test_worker_error_propagates_typed(self):
+        """Corrupt input re-raises the worker's typed CodecError, and the
+        pool survives the poisoned task."""
+        from repro.compressors import CodecError
+
         cfg = PrimacyConfig(chunk_bytes=16 * 1024)
         with ParallelEngine(cfg, workers=2) as engine:
             task_id = engine.submit(KIND_DECOMPRESS, b"\xff" * (20 * 1024))
-            with pytest.raises(EngineError, match="worker failed"):
+            with pytest.raises(CodecError):
                 engine.pop(task_id)
             # The pool survives a poisoned task.
             chunk = generate_bytes("obs_temp", 16 * 1024, seed=1)
             record, _ = engine.pop(engine.submit(KIND_COMPRESS, chunk))
             assert record == PrimacyCompressor(cfg).compress_chunk(chunk)[0]
+
+    def test_worker_non_codec_error_raises_engine_error(self):
+        """Failures that are not data corruption surface as EngineError."""
+        with ParallelEngine(PrimacyConfig(), workers=1) as engine:
+            task_id = engine.submit("no-such-kind", b"x" * 8)
+            with pytest.raises(EngineError, match="worker failed"):
+                engine.pop(task_id)
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):

@@ -61,7 +61,7 @@ class TestHeaderFooter:
             ChunkEntry(offset=131, length=50, n_values=4, inline_index=False, index_base=0),
         ]
         blob = encode_footer(chunks, b"tl", 99)
-        out_chunks, tail, total = decode_footer(blob[:-12])
+        out_chunks, tail, total = decode_footer(blob)
         assert out_chunks == chunks
         assert tail == b"tl"
         assert total == 99
@@ -141,7 +141,7 @@ class TestRoundtrip:
 
 def _footer_len(buf: io.BytesIO) -> int:
     raw = buf.getvalue()
-    return int.from_bytes(raw[-12:-4], "little") + 12
+    return int.from_bytes(raw[-16:-8], "little") + 16
 
 
 class TestRandomAccess:
@@ -217,6 +217,34 @@ class TestRandomAccess:
         assert reader.read_values(start, count) == payload[
             start * 8 : (start + count) * 8
         ]
+
+
+class TestOversizedHeader:
+    def test_header_larger_than_probe_window_reads_incrementally(self, payload):
+        """A header past the 4 KiB probe must be re-read, not rejected."""
+        from repro.compressors import register_codec
+        from repro.compressors.deflate import DeflateCodec
+        from repro.storage.reader import _HEADER_PROBE_BYTES
+
+        long_name = "zlib-alias-" + "x" * (_HEADER_PROBE_BYTES + 100)
+
+        @register_codec
+        class _LongNameCodec(DeflateCodec):
+            name = long_name
+
+        try:
+            buf = io.BytesIO()
+            cfg = PrimacyConfig(codec=long_name, chunk_bytes=16 * 1024)
+            with PrimacyFileWriter(buf, cfg) as w:
+                w.write(payload)
+            reader = PrimacyFileReader(io.BytesIO(buf.getvalue()))
+            assert reader._header_len > _HEADER_PROBE_BYTES
+            assert reader.read_all() == payload
+        finally:
+            # Don't leak the synthetic codec into the global registry.
+            from repro.compressors.base import _REGISTRY
+
+            _REGISTRY.pop(long_name, None)
 
 
 class TestCorruption:

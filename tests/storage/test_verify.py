@@ -1,0 +1,197 @@
+"""Tests for fsck/salvage (repro.storage.verify) and their CLI commands."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointWriter
+from repro.cli import main
+from repro.compressors import CodecError
+from repro.core import PrimacyConfig
+from repro.datasets import generate_bytes
+from repro.storage import (
+    PrimacyFileReader,
+    PrimacyFileWriter,
+    fsck,
+    salvage_prif,
+)
+
+_CFG = PrimacyConfig(chunk_bytes=512, checksum=True)
+
+
+@pytest.fixture(scope="module")
+def prif_case():
+    payload = generate_bytes("obs_temp", 2000, seed=11) + b"xy"
+    buf = io.BytesIO()
+    with PrimacyFileWriter(buf, _CFG) as w:
+        w.write(payload)
+    blob = buf.getvalue()
+    reader = PrimacyFileReader(io.BytesIO(blob))
+    assert reader.n_chunks >= 3
+    return payload, blob, reader._header_len, reader.info.chunks
+
+
+def _flip(blob: bytes, offset: int) -> bytes:
+    out = bytearray(blob)
+    out[offset] ^= 0xFF
+    return bytes(out)
+
+
+class TestFsckPrif:
+    def test_clean_file(self, prif_case):
+        _, blob, _, _ = prif_case
+        report = fsck(io.BytesIO(blob))
+        assert report.format == "PRIF"
+        assert report.ok
+        assert report.first_divergence is None
+        assert report.n_chunks_ok == report.n_chunks
+        assert "clean" in report.summary()
+
+    def test_unknown_magic(self):
+        report = fsck(io.BytesIO(b"WAT?" + bytes(32)))
+        assert report.format == "unknown"
+        assert not report.ok
+
+    def test_payload_damage_localized(self, prif_case):
+        _, blob, _, entries = prif_case
+        entry = entries[1]
+        report = fsck(io.BytesIO(_flip(blob, entry.offset + entry.length // 2)))
+        assert not report.ok
+        assert report.n_chunks_ok == len(entries) - 1
+        assert any(f.region == "chunk[1]" for f in report.findings)
+
+    def test_prefix_damage_found_even_though_reads_succeed(self, prif_case):
+        """The reader seeks by table and ignores prefixes; fsck must not."""
+        payload, blob, header_len, _ = prif_case
+        damaged = _flip(blob, header_len)  # first record's length prefix
+        assert PrimacyFileReader(io.BytesIO(damaged)).read_all() == payload
+        report = fsck(io.BytesIO(damaged))
+        assert not report.ok
+        assert any(f.region == "prefix[0]" for f in report.findings)
+
+    def test_metadata_damage_reported(self, prif_case):
+        _, blob, _, _ = prif_case
+        report = fsck(io.BytesIO(_flip(blob, len(blob) - 6)))  # trailer CRC
+        assert not report.ok
+        assert report.n_chunks == 0  # never got past metadata
+
+
+class TestFsckPrck:
+    @pytest.fixture(scope="class")
+    def prck_blob(self):
+        buf = io.BytesIO()
+        with CheckpointWriter(buf, PrimacyConfig(chunk_bytes=256)) as w:
+            w.write_step(0, {"t": np.linspace(0, 1, 64, dtype=np.float64)})
+            w.write_step(1, {"t": np.linspace(1, 2, 64, dtype=np.float64)})
+        return buf.getvalue()
+
+    def test_clean_checkpoint(self, prck_blob):
+        report = fsck(io.BytesIO(prck_blob))
+        assert report.format == "PRCK"
+        assert report.ok
+        assert report.n_chunks == report.n_chunks_ok == 2
+
+    def test_segment_damage_scoped_to_segment(self, prck_blob):
+        from repro.checkpoint.manager import CheckpointReader
+
+        entry = CheckpointReader(io.BytesIO(prck_blob))._entries[1]
+        damaged = _flip(prck_blob, entry.offset + entry.length // 2)
+        report = fsck(io.BytesIO(damaged))
+        assert not report.ok
+        assert report.n_chunks_ok == 1
+        assert all(
+            f.region.startswith("segment[1/t]") for f in report.findings
+        )
+
+    def test_manifest_damage_reported(self, prck_blob):
+        report = fsck(io.BytesIO(_flip(prck_blob, len(prck_blob) - 6)))
+        assert not report.ok
+        assert report.n_chunks == 0
+
+
+class TestSalvage:
+    def test_footer_mode_skips_only_damaged_chunk(self, prif_case):
+        payload, blob, _, entries = prif_case
+        word = _CFG.word_bytes
+        entry = entries[1]
+        result = salvage_prif(
+            io.BytesIO(_flip(blob, entry.offset + entry.length // 2))
+        )
+        assert result.mode == "footer"
+        assert not result.complete
+        assert result.n_recovered == len(entries) - 1
+        assert not result.chunks[1].recovered
+        # Recovered data is everything except chunk 1's value range.
+        start = entries[0].n_values * word
+        lost = entries[1].n_values * word
+        expected = payload[:start] + payload[start + lost :]
+        assert result.data + result.tail == expected
+
+    def test_footer_mode_complete_on_clean_file(self, prif_case):
+        payload, blob, _, _ = prif_case
+        result = salvage_prif(io.BytesIO(blob))
+        assert result.complete
+        assert result.data + result.tail == payload
+
+    def test_scan_mode_on_truncation(self, prif_case):
+        payload, blob, _, entries = prif_case
+        word = _CFG.word_bytes
+        cut = entries[2].offset  # record 2's prefix survives, body doesn't
+        result = salvage_prif(io.BytesIO(blob[:cut]))
+        assert result.mode == "scan"
+        n = entries[0].n_values + entries[1].n_values
+        assert result.values_recovered == n
+        assert result.data == payload[: n * word]
+
+    def test_dest_receives_recovered_bytes(self, prif_case, tmp_path):
+        payload, blob, _, _ = prif_case
+        out = tmp_path / "recovered.bin"
+        salvage_prif(io.BytesIO(blob), out)
+        assert out.read_bytes() == payload
+
+    def test_hopeless_file_raises_typed_error(self):
+        with pytest.raises(CodecError):
+            salvage_prif(io.BytesIO(b"PRIF"))
+
+
+class TestCli:
+    @pytest.fixture
+    def pri_file(self, tmp_path):
+        payload = generate_bytes("obs_temp", 2000, seed=3)
+        path = tmp_path / "data.pri"
+        with PrimacyFileWriter(path, _CFG) as w:
+            w.write(payload)
+        return payload, path
+
+    def test_fsck_clean_exits_zero(self, pri_file, capsys):
+        _, path = pri_file
+        assert main(["fsck", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fsck_damaged_exits_two(self, pri_file, tmp_path, capsys):
+        payload, path = pri_file
+        entry = PrimacyFileReader(path).info.chunks[0]
+        bad = tmp_path / "bad.pri"
+        bad.write_bytes(_flip(path.read_bytes(), entry.offset + 2))
+        assert main(["fsck", str(bad)]) == 2
+        assert "chunk[0]" in capsys.readouterr().out
+
+    def test_salvage_recovers_truncated_file(self, pri_file, tmp_path, capsys):
+        payload, path = pri_file
+        entries = PrimacyFileReader(path).info.chunks
+        cut = tmp_path / "cut.pri"
+        cut.write_bytes(path.read_bytes()[: entries[1].offset - 1])
+        out = tmp_path / "out.bin"
+        assert main(["salvage", str(cut), str(out)]) == 0
+        assert "scan mode" in capsys.readouterr().out
+        got = out.read_bytes()
+        assert got == payload[: len(got)]
+        assert len(got) > 0
+
+    def test_salvage_hopeless_exits_nonzero(self, tmp_path):
+        junk = tmp_path / "junk.pri"
+        junk.write_bytes(b"PRIF\x00")
+        assert main(["salvage", str(junk), str(tmp_path / "o")]) == 1

@@ -1,0 +1,146 @@
+"""Tests for atomic publication and transient-I/O retry (repro.util.durable)."""
+
+from __future__ import annotations
+
+import errno
+import io
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointWriter
+from repro.core import PrimacyConfig
+from repro.storage import PrimacyFileReader, PrimacyFileWriter
+from repro.util.durable import AtomicFile, retry_io
+
+
+class TestRetryIO:
+    def test_passes_through_result(self):
+        assert retry_io(lambda: 42) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EINTR, "interrupted")
+            return "ok"
+
+        assert retry_io(flaky, backoff=0.0001) == "ok"
+        assert len(calls) == 3
+
+    def test_persistent_transient_error_eventually_raises(self):
+        def always():
+            raise OSError(errno.EAGAIN, "busy")
+
+        with pytest.raises(OSError) as exc_info:
+            retry_io(always, attempts=3, backoff=0.0001)
+        assert exc_info.value.errno == errno.EAGAIN
+
+    def test_non_transient_error_raises_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise OSError(errno.ENOSPC, "disk full")
+
+        with pytest.raises(OSError):
+            retry_io(broken, backoff=0.0001)
+        assert len(calls) == 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            retry_io(lambda: 1, attempts=0)
+
+
+class TestAtomicFile:
+    def test_commit_publishes_exact_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        af = AtomicFile(target)
+        af.write(b"hello ")
+        af.write(b"world")
+        assert not target.exists()  # nothing published before commit
+        assert af.tmp_path.exists()
+        af.commit()
+        assert target.read_bytes() == b"hello world"
+        assert not af.tmp_path.exists()
+
+    def test_discard_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"previous complete artifact")
+        af = AtomicFile(target)
+        af.write(b"half-written garbage")
+        af.discard()
+        assert target.read_bytes() == b"previous complete artifact"
+        assert not af.tmp_path.exists()
+
+    def test_commit_replaces_previous_version(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        af = AtomicFile(target)
+        af.write(b"new")
+        af.commit()
+        assert target.read_bytes() == b"new"
+
+    def test_commit_is_idempotent(self, tmp_path):
+        af = AtomicFile(tmp_path / "x")
+        af.write(b"1")
+        af.commit()
+        af.commit()
+        af.discard()  # no-op after commit
+        assert (tmp_path / "x").read_bytes() == b"1"
+
+
+class TestWriterAtomicity:
+    """Writers must stage in .tmp and never finalize a failed stream."""
+
+    def test_prif_writer_stages_then_publishes(self, tmp_path):
+        target = tmp_path / "data.pri"
+        with PrimacyFileWriter(target, PrimacyConfig(chunk_bytes=4096)) as w:
+            w.write(b"\x01\x02\x03\x04\x05\x06\x07\x08" * 64)
+            assert not target.exists()
+            assert (tmp_path / "data.pri.tmp").exists()
+        assert target.exists()
+        assert not (tmp_path / "data.pri.tmp").exists()
+        assert PrimacyFileReader(target).read_all() == (
+            b"\x01\x02\x03\x04\x05\x06\x07\x08" * 64
+        )
+
+    def test_prif_writer_exception_aborts(self, tmp_path):
+        target = tmp_path / "data.pri"
+        with pytest.raises(RuntimeError):
+            with PrimacyFileWriter(target) as w:
+                w.write(b"\x00" * 128)
+                raise RuntimeError("simulation crashed")
+        assert not target.exists()
+        assert not (tmp_path / "data.pri.tmp").exists()
+
+    def test_prif_writer_durable_off_writes_in_place(self, tmp_path):
+        target = tmp_path / "data.pri"
+        with PrimacyFileWriter(target, durable=False) as w:
+            w.write(b"\x00" * 64)
+            assert target.exists()  # in-place, no staging
+        assert PrimacyFileReader(target).read_all() == b"\x00" * 64
+
+    def test_checkpoint_writer_exception_preserves_old_checkpoint(
+        self, tmp_path
+    ):
+        target = tmp_path / "state.prck"
+        with CheckpointWriter(target, PrimacyConfig(chunk_bytes=4096)) as w:
+            w.write_step(0, {"t": np.arange(32, dtype=np.float64)})
+        before = target.read_bytes()
+        with pytest.raises(RuntimeError):
+            with CheckpointWriter(target, PrimacyConfig(chunk_bytes=4096)) as w:
+                w.write_step(1, {"t": np.arange(32, dtype=np.float64)})
+                raise RuntimeError("killed")
+        assert target.read_bytes() == before  # old checkpoint intact
+        assert not (tmp_path / "state.prck.tmp").exists()
+
+    def test_file_object_targets_are_unaffected(self):
+        buf = io.BytesIO()
+        with PrimacyFileWriter(buf, durable=True) as w:  # durable ignored
+            w.write(b"\x00" * 64)
+        assert PrimacyFileReader(io.BytesIO(buf.getvalue())).read_all() == (
+            b"\x00" * 64
+        )
