@@ -10,6 +10,7 @@ Subcommands::
     primacy model ...                # evaluate the performance model
     primacy fsck FILE                # verify a PRIF/PRCK file, localize damage
     primacy salvage IN OUT           # recover readable chunks from a damaged file
+    primacy lint [PATHS...]          # AST codec-invariant checker (PL001..PL005)
 
 Exit status is non-zero on any error; messages go to stderr.
 """
@@ -157,6 +158,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", type=Path)
     p.add_argument("output", type=Path)
     p.set_defaults(func=_cmd_salvage)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the PL001..PL005 codec-invariant checker over source trees",
+    )
+    p.add_argument(
+        "paths", type=Path, nargs="*", default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format", help="report format",
+    )
+    p.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore", metavar="RULES", default=None,
+        help="comma-separated rule codes to skip",
+    )
+    p.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="demote findings fingerprinted in FILE to warnings",
+    )
+    p.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="write current findings to FILE as a new baseline and exit 0",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "report", help="markdown characterization of a synthetic dataset"
@@ -385,6 +420,61 @@ def _cmd_salvage(args: argparse.Namespace) -> int:
     return 0 if result.n_recovered else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintError,
+        Severity,
+        all_rules,
+        format_findings_json,
+        format_findings_text,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    def _codes(text: str | None) -> list[str] | None:
+        if text is None:
+            return None
+        return [c.strip() for c in text.split(",") if c.strip()]
+
+    try:
+        baseline = (
+            load_baseline(args.baseline) if args.baseline is not None else None
+        )
+        findings = lint_paths(
+            args.paths,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            baseline=baseline,
+        )
+    except LintError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline, findings)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    report = (
+        format_findings_json(findings)
+        if args.output_format == "json"
+        else format_findings_text(findings)
+    )
+    print(report)
+    return (
+        1
+        if any(f.severity is Severity.ERROR for f in findings)
+        else 0
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import dataset_report
 
@@ -428,7 +518,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except Exception as exc:  # pragma: no cover - CLI guard
+    # Process boundary: every failure becomes a message on stderr plus a
+    # non-zero exit status, typed or not.
+    except Exception as exc:  # pragma: no cover - CLI guard  # primacy-lint: disable=PL001 -- converted to exit status
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -766,9 +766,19 @@ class PrimacyCompressor:
             extension = np.frombuffer(raw, dtype=width).astype(np.uint32)
             index = current_index.extended(extension)
         high_len, pos = decode_uvarint(record, pos)
+        if len(record) - pos < high_len:
+            raise TruncationError(
+                f"chunk record high-order payload truncated (need "
+                f"{high_len} bytes at {pos}, have {len(record) - pos})"
+            )
         high_compressed = bytes(record[pos : pos + high_len])
         pos += high_len
         low_len, pos = decode_uvarint(record, pos)
+        if len(record) - pos < low_len:
+            raise TruncationError(
+                f"chunk record low-order payload truncated (need "
+                f"{low_len} bytes at {pos}, have {len(record) - pos})"
+            )
         low_blob = bytes(record[pos : pos + low_len])
         pos += low_len
 

@@ -1,0 +1,33 @@
+"""The ``primacy lint`` rule catalog (PL001..PL005).
+
+Each rule lives in its own module and registers itself here; the CLI
+and the engine pull the set through :func:`all_rules` so tests can also
+instantiate rules individually.
+"""
+
+from repro.lint.engine import Rule
+from repro.lint.rules.bounds import BufferBoundsRule
+from repro.lint.rules.exceptions import ExceptionDisciplineRule
+from repro.lint.rules.registry import CodecRegistryRule
+from repro.lint.rules.sharedmem import SharedMemoryLifecycleRule
+from repro.lint.rules.structfmt import StructFormatRule
+
+__all__ = [
+    "all_rules",
+    "ExceptionDisciplineRule",
+    "StructFormatRule",
+    "SharedMemoryLifecycleRule",
+    "BufferBoundsRule",
+    "CodecRegistryRule",
+]
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [
+        ExceptionDisciplineRule(),
+        StructFormatRule(),
+        SharedMemoryLifecycleRule(),
+        BufferBoundsRule(),
+        CodecRegistryRule(),
+    ]

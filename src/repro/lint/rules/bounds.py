@@ -1,0 +1,261 @@
+"""PL004 -- varint/bounds discipline on untrusted buffers.
+
+Python slicing never raises on an out-of-range bound -- ``data[p:p+n]``
+on a truncated buffer silently returns *fewer* bytes, and the damage
+surfaces later as a shape error, a garbage decode, or (worst) a clean
+decode of wrong data.  In the decode paths of ``storage/`` and
+``core/`` every raw slice of an untrusted buffer must therefore be
+paired with an explicit length check:
+
+* **dynamic-width slices** (``data[pos : pos + n]`` where the width
+  comes from decoded input) must land in a name whose length is
+  verified (``raw = data[p:p+n]`` ... ``if len(raw) != n: raise``) --
+  or go through a checked-take helper that does the same;
+* **literal-width slices and direct indexing** (``data[0]``,
+  ``data[:4]``, ``data[pos]``) require an earlier guard on the buffer:
+  a ``len(data)`` comparison or a truthiness test (``if not data``).
+
+Untrusted buffers are the bytes/memoryview-annotated parameters of
+decode-path functions, plus local aliases (``view = memoryview(data)``,
+``body = bytes(data)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleContext, Rule, walk_function
+from repro.lint.rules.exceptions import DECODE_PATH_RE
+
+__all__ = ["BufferBoundsRule"]
+
+#: Directory fragments (POSIX relpaths) this rule patrols.
+_SCOPE_FRAGMENTS = ("storage/", "core/")
+
+#: Parameter names treated as untrusted even without an annotation.
+_BUFFER_PARAM_NAMES = {
+    "data",
+    "record",
+    "buf",
+    "buffer",
+    "payload",
+    "raw",
+    "blob",
+    "footer",
+    "header",
+    "trailer",
+    "manifest",
+}
+
+
+def _annotation_is_bytes(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return "'bytes'" in text or "'memoryview'" in text
+
+
+def _untrusted_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    params = set()
+    for arg in [*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs]:
+        if arg.arg in ("self", "cls"):
+            continue
+        if _annotation_is_bytes(arg.annotation) or (
+            arg.annotation is None and arg.arg in _BUFFER_PARAM_NAMES
+        ):
+            params.add(arg.arg)
+    return params
+
+
+def _propagate_aliases(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, tainted: set[str]
+) -> set[str]:
+    """Extend the tainted set with direct aliases and byte/view casts."""
+    tainted = set(tainted)
+    for node in walk_function(func):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in tainted:
+            tainted.add(target.id)
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("bytes", "memoryview", "bytearray")
+            and value.args
+            and isinstance(value.args[0], ast.Name)
+            and value.args[0].id in tainted
+        ):
+            tainted.add(target.id)
+    return tainted
+
+
+def _is_static_bound(node: ast.expr | None) -> bool:
+    """Whether a slice bound is a compile-time constant (or absent)."""
+    if node is None:
+        return True
+    return isinstance(node, ast.Constant)
+
+
+def _guard_lines(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, buffers: set[str]
+) -> tuple[dict[str, list[int]], dict[str, list[int]]]:
+    """Lines where each buffer is guarded.
+
+    Returns ``(len_guards, truth_guards)``: explicit ``len(buf)``
+    comparisons, and truthiness tests (``if not buf``).  A truthiness
+    test proves non-emptiness only, so it cannot sanction a
+    dynamic-width slice.
+    """
+    len_guards: dict[str, list[int]] = {name: [] for name in buffers}
+    truth_guards: dict[str, list[int]] = {name: [] for name in buffers}
+    for node in walk_function(func):
+        if isinstance(node, ast.Call) and (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "len"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in buffers
+        ):
+            # len(buf) anywhere in a comparison context counts; the
+            # parent Compare/If shares the line in practice.
+            len_guards[node.args[0].id].append(node.lineno)
+        elif isinstance(node, ast.If):
+            test = node.test
+            if isinstance(test, ast.UnaryOp) and isinstance(
+                test.op, ast.Not
+            ):
+                test = test.operand
+            if isinstance(test, ast.Name) and test.id in buffers:
+                truth_guards[test.id].append(node.lineno)
+    return len_guards, truth_guards
+
+
+def _len_checked_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names whose ``len(...)`` participates in any comparison."""
+    checked: set[str] = set()
+    for node in walk_function(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        for operand in ast.walk(node):
+            if (
+                isinstance(operand, ast.Call)
+                and isinstance(operand.func, ast.Name)
+                and operand.func.id == "len"
+                and len(operand.args) == 1
+                and isinstance(operand.args[0], ast.Name)
+            ):
+                checked.add(operand.args[0].id)
+    return checked
+
+
+def _slice_assignment_target(
+    module: ModuleContext, node: ast.Subscript
+) -> str | None:
+    """Name a slice lands in: ``x = buf[...]`` or ``x = bytes(buf[...])``."""
+    parent = module.parent(node)
+    # unwrap a single cast call: bytes(...) / memoryview(...) / np.frombuffer
+    if isinstance(parent, ast.Call):
+        parent = module.parent(parent)
+    if (
+        isinstance(parent, ast.Assign)
+        and len(parent.targets) == 1
+        and isinstance(parent.targets[0], ast.Name)
+    ):
+        return parent.targets[0].id
+    if isinstance(parent, ast.Tuple):
+        grand = module.parent(parent)
+        if isinstance(grand, ast.Assign):
+            return None  # tuple unpack: cannot track, stay conservative
+    return None
+
+
+class BufferBoundsRule(Rule):
+    """Raw slices of untrusted buffers need explicit length checks."""
+
+    code = "PL004"
+    title = "varint/bounds discipline"
+    rationale = (
+        "Out-of-range slices truncate silently; a decode path that "
+        "slices without checking lengths turns corruption into wrong "
+        "answers instead of typed errors."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        relpath = module.relpath
+        if not any(frag in relpath for frag in _SCOPE_FRAGMENTS):
+            return
+        for func in module.functions():
+            if not DECODE_PATH_RE.match(func.name):
+                continue
+            tainted = _untrusted_params(func)
+            if not tainted:
+                continue
+            tainted = _propagate_aliases(func, tainted)
+            len_guards, truth_guards = _guard_lines(func, tainted)
+            len_checked = _len_checked_names(func)
+
+            def _earlier(guards: dict[str, list[int]], buffer: str, line: int) -> bool:
+                return any(g < line for g in guards.get(buffer, []))
+
+            for node in walk_function(func):
+                if not (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in tainted
+                ):
+                    continue
+                # Writes (buf[...] = x) are the producer side; skip.
+                if isinstance(node.ctx, ast.Store):
+                    continue
+                buffer = node.value.id
+                any_guard = _earlier(len_guards, buffer, node.lineno) or _earlier(
+                    truth_guards, buffer, node.lineno
+                )
+                if isinstance(node.slice, ast.Slice):
+                    static = _is_static_bound(
+                        node.slice.lower
+                    ) and _is_static_bound(node.slice.upper)
+                    if static:
+                        if any_guard:
+                            continue
+                        yield self.finding(
+                            module,
+                            node,
+                            f"slice of untrusted buffer '{buffer}' in "
+                            f"'{func.name}' has no preceding length "
+                            "check",
+                        )
+                        continue
+                    target = _slice_assignment_target(module, node)
+                    if target is not None and target in len_checked:
+                        continue
+                    # An explicit remaining-length comparison on the
+                    # buffer earlier in the function also counts
+                    # (`if len(record) - pos != 4: raise` just before
+                    # slicing at pos).
+                    if _earlier(len_guards, buffer, node.lineno):
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"dynamic-width slice of untrusted buffer "
+                        f"'{buffer}' in '{func.name}' is never length-"
+                        "checked; verify len() of the result or use a "
+                        "checked-take helper",
+                    )
+                else:
+                    if any_guard:
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"index into untrusted buffer '{buffer}' in "
+                        f"'{func.name}' has no preceding bounds check",
+                    )

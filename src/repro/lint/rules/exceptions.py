@@ -1,0 +1,169 @@
+"""PL001 -- decode-path exception discipline.
+
+The PR 2 contract: malformed input surfaces as a typed
+:class:`~repro.compressors.base.CodecError` subclass, never as the
+``IndexError`` / ``struct.error`` / ``ValueError`` noise the damage
+happens to provoke, and never silently swallowed.  Concretely:
+
+* A broad handler (``except:``, ``except Exception``, ``except
+  BaseException``) must re-raise -- either the original exception
+  (bare ``raise``) or a :class:`CodecError` subclass wrapping it.
+  Broad handlers that swallow, or that wrap into an untyped exception,
+  are flagged; genuinely intentional swallows carry a
+  ``# primacy-lint: disable=PL001 -- reason`` suppression.
+* Inside decode-path functions (``decode_*`` / ``read_*`` / ``load_*``
+  / ``parse_*`` / ``decompress*`` / ``deserialize*``, with or without a
+  leading underscore) even a *narrow* handler may not swallow: a
+  handler whose body contains no ``raise`` at all hides corruption from
+  the caller.
+
+The typed-name set is computed per module: the canonical taxonomy names
+plus any locally defined class that (transitively) subclasses one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+__all__ = ["ExceptionDisciplineRule", "DECODE_PATH_RE"]
+
+#: Functions whose name marks them as a decode path.
+DECODE_PATH_RE = re.compile(
+    r"^_?(decode|read|load|parse|deserialize|decompress|unpack)"
+)
+
+#: The canonical typed taxonomy (repro.compressors.base).
+_TAXONOMY = {"CodecError", "CorruptionError", "TruncationError"}
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _exception_names(node: ast.expr | None) -> Iterator[str]:
+    """Names an ``except`` clause catches (handles tuples)."""
+    if node is None:
+        yield "<bare>"
+    elif isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    return any(
+        name in _BROAD or name == "<bare>"
+        for name in _exception_names(handler.type)
+    )
+
+
+def _raises_in(body: Iterable[ast.stmt]) -> list[ast.Raise]:
+    """``raise`` statements in ``body``, not descending into functions."""
+    found: list[ast.Raise] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Raise):
+            found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """Class name a ``raise`` statement constructs, if identifiable."""
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return "<unknown>"
+
+
+def _typed_names(module: ModuleContext) -> set[str]:
+    """Taxonomy names plus local subclasses of them (fixpoint)."""
+    typed = set(_TAXONOMY)
+    classes: list[ast.ClassDef] = [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in typed:
+                continue
+            base_names = {
+                name for base in cls.bases for name in _exception_names(base)
+            }
+            if base_names & typed:
+                typed.add(cls.name)
+                changed = True
+    return typed
+
+
+class ExceptionDisciplineRule(Rule):
+    """Broad/bare ``except`` must re-raise typed errors; decode paths
+    may not swallow at all."""
+
+    code = "PL001"
+    title = "decode-path exception discipline"
+    rationale = (
+        "Decode paths must surface typed CodecError subclasses; broad "
+        "handlers that swallow or re-wrap into untyped exceptions hide "
+        "corruption from callers and from fsck."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        typed = _typed_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            raises = _raises_in(node.body)
+            raised = [_raised_name(r) for r in raises]
+            reraises_ok = any(
+                name is None or name in typed for name in raised
+            )
+            caught = "/".join(_exception_names(node.type))
+            if _is_broad(node):
+                if not raises:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"broad 'except {caught}' swallows exceptions; "
+                        "re-raise a CodecError subclass or suppress with "
+                        "a justification",
+                    )
+                elif not reraises_ok:
+                    wrapped = ", ".join(sorted(set(filter(None, raised))))
+                    yield self.finding(
+                        module,
+                        node,
+                        f"broad 'except {caught}' re-raises untyped "
+                        f"{wrapped}; wrap as a CodecError subclass",
+                    )
+                continue
+            func = module.enclosing_function(node)
+            if (
+                func is not None
+                and DECODE_PATH_RE.match(func.name)
+                and not raises
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"handler 'except {caught}' in decode path "
+                    f"'{func.name}' swallows the error; decode paths "
+                    "must surface typed CodecErrors",
+                )

@@ -1,0 +1,159 @@
+"""PL005 -- codec-registry completeness.
+
+A :class:`~repro.compressors.base.Codec` subclass that is written but
+never registered is dead weight the CLI and pipeline cannot reach; one
+that is registered but never round-trip-tested is a liability (the
+registry is exactly how fuzzers and the PRIMACY pipeline will find it).
+For every concrete ``Codec`` subclass under ``compressors/``:
+
+* it must be registered -- the ``@register_codec`` decorator or a
+  module-level ``register_codec(Cls)`` call;
+* its registry ``name`` must be exercised by the test suite: either the
+  name (or class name) appears literally under ``tests/``, or the suite
+  runs an ``available_codecs()`` round-trip sweep (which covers every
+  registered codec by construction).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+__all__ = ["CodecRegistryRule"]
+
+_ABSTRACT_BASES = {"ABC", "ABCMeta", "abstractproperty"}
+
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _decorator_names(cls: ast.ClassDef) -> set[str]:
+    names = set()
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _registry_name(cls: ast.ClassDef) -> str | None:
+    """Value of the class-level ``name = "..."`` attribute."""
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "name"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+    return None
+
+
+def _module_registration_calls(module: ModuleContext) -> set[str]:
+    """Class names passed to a module-level ``register_codec(...)`` call."""
+    registered = set()
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "register_codec"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            registered.add(node.args[0].id)
+    return registered
+
+
+class CodecRegistryRule(Rule):
+    """Every concrete Codec subclass is registered and round-trip-tested."""
+
+    code = "PL005"
+    title = "codec-registry completeness"
+    rationale = (
+        "An unregistered codec is unreachable dead code; an untested "
+        "one can ship a broken round trip."
+    )
+
+    def __init__(self) -> None:
+        self._tests_cache: dict[Path, tuple[str, bool]] = {}
+
+    def _tests_corpus(self, project_root: Path) -> tuple[str, bool]:
+        """``(concatenated test sources, has available_codecs sweep)``.
+
+        Cached per run; an empty corpus disables the test-coverage half
+        of the rule (linting a tree without its tests must not flood).
+        """
+        cached = self._tests_cache.get(project_root)
+        if cached is not None:
+            return cached
+        tests_dir = project_root / "tests"
+        chunks: list[str] = []
+        if tests_dir.is_dir():
+            for path in sorted(tests_dir.rglob("*.py")):
+                try:
+                    chunks.append(path.read_text(encoding="utf-8"))
+                except (OSError, UnicodeDecodeError):  # pragma: no cover
+                    continue
+        corpus = "\n".join(chunks)
+        has_sweep = bool(
+            re.search(r"available_codecs\s*\(", corpus)
+            and re.search(r"\bdecompress\b", corpus)
+        )
+        self._tests_cache[project_root] = (corpus, has_sweep)
+        return corpus, has_sweep
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        relpath = module.relpath
+        if "compressors/" not in relpath or relpath.endswith("base.py"):
+            return
+        module_registered = _module_registration_calls(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = _base_names(node)
+            if "Codec" not in bases and not any(
+                b.endswith("Codec") for b in bases
+            ):
+                continue
+            if bases & _ABSTRACT_BASES or node.name.startswith("_"):
+                continue
+            codec_name = _registry_name(node)
+            if codec_name in (None, "abstract"):
+                continue  # still abstract: no registry identity
+            if (
+                "register_codec" not in _decorator_names(node)
+                and node.name not in module_registered
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"codec class '{node.name}' (name={codec_name!r}) "
+                    "is never passed to register_codec",
+                )
+                continue
+            corpus, has_sweep = self._tests_corpus(module.project_root)
+            if not corpus or has_sweep:
+                continue
+            if codec_name not in corpus and node.name not in corpus:
+                yield self.finding(
+                    module,
+                    node,
+                    f"registered codec {codec_name!r} "
+                    f"('{node.name}') has no round-trip test "
+                    "referencing it",
+                )

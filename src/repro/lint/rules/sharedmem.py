@@ -1,0 +1,175 @@
+"""PL003 -- SharedMemory / memoryview lifecycle.
+
+A leaked ``SharedMemory`` segment outlives the process in ``/dev/shm``
+and a pinned ``memoryview`` keeps its segment mapped, so every
+acquisition inside one frame must either be released on *all* control
+flow paths or have its ownership explicitly transferred:
+
+* ``x = SharedMemory(...)`` requires ``x.close()`` inside a ``finally``
+  block of the same function, **or** an ownership transfer: ``x`` is
+  returned, yielded, stored on an attribute / container
+  (``self._all_shm.append(x)``, ``d[k] = x``), or passed to a
+  registry-style call.
+* ``x = memoryview(...)`` / ``x = something.buf`` requires
+  ``x.release()`` in a ``finally`` (or a ``with memoryview(...)``
+  context), or the same ownership transfers.
+
+This is exactly the audit the parallel engine's recycling pool needs:
+the acquire path transfers ownership to ``self._all_shm`` and the close
+path unlinks everything it owns.  The opt-in runtime sanitizer
+(:mod:`repro.lint.sanitize`) is the dynamic counterpart of this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleContext, Rule, walk_function
+
+__all__ = ["SharedMemoryLifecycleRule"]
+
+#: Method calls in a ``finally`` that count as releasing the resource.
+_RELEASE_METHODS = {
+    "shm": {"close", "unlink"},
+    "view": {"release"},
+}
+
+
+def _acquisition_kind(value: ast.expr) -> str | None:
+    """Classify an assigned expression as a tracked acquisition."""
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name == "SharedMemory":
+            return "shm"
+        if name == "memoryview":
+            return "view"
+    if isinstance(value, ast.Attribute) and value.attr == "buf":
+        return "view"
+    return None
+
+
+def _released_in_finally(
+    func: ast.AST, name: str, methods: set[str]
+) -> bool:
+    """Whether ``name.<release>()`` appears inside any ``finally``."""
+    for node in walk_function(func):
+        if not isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in methods
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == name
+                ):
+                    return True
+    return False
+
+
+def _ownership_transferred(func: ast.AST, name: str) -> bool:
+    """Whether ``name`` escapes the frame (caller takes ownership)."""
+    for node in walk_function(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            # The name itself, a derived view (`view.toreadonly()`), or
+            # a tuple of either escapes; a copy (`bytes(shm.buf[:n])`)
+            # does not.
+            value = node.value
+            candidates = (
+                list(value.elts)
+                if isinstance(value, (ast.Tuple, ast.List))
+                else [value]
+            )
+            for cand in candidates:
+                if isinstance(cand, ast.Name) and cand.id == name:
+                    return True
+                if (
+                    isinstance(cand, ast.Call)
+                    and isinstance(cand.func, ast.Attribute)
+                    and isinstance(cand.func.value, ast.Name)
+                    and cand.func.value.id == name
+                ):
+                    return True
+        elif isinstance(node, ast.Assign):
+            if not (
+                isinstance(node.value, ast.Name) and node.value.id == name
+            ):
+                continue
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            ):
+                return True
+        elif isinstance(node, ast.Call):
+            # registry-style transfer: container.append(x) / track(x)
+            if isinstance(node.func, (ast.Attribute, ast.Name)) and any(
+                isinstance(arg, ast.Name) and arg.id == name
+                for arg in node.args
+            ):
+                attr = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else node.func.id
+                )
+                if attr in {
+                    "append",
+                    "add",
+                    "appendleft",
+                    "register",
+                    "track",
+                    "track_segment",
+                    "setdefault",
+                }:
+                    return True
+    return False
+
+
+class SharedMemoryLifecycleRule(Rule):
+    """Every SharedMemory/memoryview acquisition is released on all paths."""
+
+    code = "PL003"
+    title = "SharedMemory/memoryview lifecycle"
+    rationale = (
+        "A segment without close()/unlink() on every path outlives the "
+        "process in /dev/shm; an unreleased memoryview pins its segment "
+        "mapped."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for func in module.functions():
+            for node in walk_function(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = _acquisition_kind(node.value)
+                if kind is None:
+                    continue
+                targets = [
+                    t for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if not targets:
+                    continue
+                name = targets[0].id
+                if _released_in_finally(
+                    func, name, _RELEASE_METHODS[kind]
+                ) or _ownership_transferred(func, name):
+                    continue
+                resource = (
+                    "SharedMemory segment" if kind == "shm" else "memoryview"
+                )
+                release = "close()" if kind == "shm" else "release()"
+                yield self.finding(
+                    module,
+                    node,
+                    f"{resource} '{name}' acquired in '{func.name}' has "
+                    f"no {release} in a finally block and never "
+                    "transfers ownership",
+                )

@@ -1,0 +1,215 @@
+"""PL002 -- struct-format / framing-constant consistency.
+
+Fixed-width framing is where a one-byte drift silently corrupts every
+file written afterwards, so the widths must be machine-checked against
+the code that uses them:
+
+* Every literal ``struct.pack`` / ``unpack`` / ``unpack_from`` /
+  ``calcsize`` / ``Struct`` format string must be *valid*.
+* ``struct.pack(fmt, ...)`` must pass exactly as many values as ``fmt``
+  has fields.
+* ``struct.unpack(fmt, buf[a:b])`` with literal bounds must slice
+  exactly ``calcsize(fmt)`` bytes.
+* Inside a function that guards a buffer with a framing constant
+  (``if len(x) != TRAILER_BYTES``, where ``TRAILER_BYTES`` is a
+  module-level integer named ``*_SIZE`` / ``*_BYTES``), literal slice
+  bounds on that buffer must stay within the constant -- the layout the
+  function decodes cannot be wider than the frame it validated.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleContext, Rule, walk_function
+
+__all__ = ["StructFormatRule"]
+
+_STRUCT_FUNCS = {"pack", "pack_into", "unpack", "unpack_from", "calcsize", "Struct"}
+_FRAME_CONST_RE = re.compile(r".+_(SIZE|BYTES)$")
+_FMT_GROUP_RE = re.compile(r"(\d*)([xcbB?hHiIlLqQnNefdspP])")
+
+
+def _field_count(fmt: str) -> int:
+    """Number of values a struct format consumes/produces."""
+    body = fmt[1:] if fmt[:1] in "@=<>!" else fmt
+    count = 0
+    for repeat, code in _FMT_GROUP_RE.findall(body.replace(" ", "")):
+        if code == "x":
+            continue
+        if code in "sp":
+            count += 1
+        else:
+            count += int(repeat) if repeat else 1
+    return count
+
+
+def _struct_call(node: ast.Call) -> str | None:
+    """The struct function name if ``node`` calls into ``struct``."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "struct"
+        and func.attr in _STRUCT_FUNCS
+    ):
+        return func.attr
+    return None
+
+
+def _literal_slice_width(node: ast.expr) -> int | None:
+    """Width of ``x[a:b]`` when both bounds are integer literals."""
+    if not (isinstance(node, ast.Subscript) and isinstance(node.slice, ast.Slice)):
+        return None
+    lower, upper = node.slice.lower, node.slice.upper
+    low = 0 if lower is None else _int_value(lower)
+    high = _int_value(upper) if upper is not None else None
+    if low is None or high is None:
+        return None
+    return high - low
+
+def _int_value(node: ast.expr | None) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _module_frame_constants(module: ModuleContext) -> dict[str, int]:
+    """Module-level ``*_SIZE`` / ``*_BYTES`` integer constants."""
+    constants: dict[str, int] = {}
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.Assign) or not isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue
+        if not isinstance(stmt.value.value, int):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and _FRAME_CONST_RE.match(
+                target.id
+            ):
+                constants[target.id] = stmt.value.value
+    return constants
+
+
+def _guarded_buffers(
+    func: ast.AST, constants: dict[str, int]
+) -> dict[str, tuple[str, int]]:
+    """Buffers compared via ``len(buf) <op> FRAME_CONST`` in ``func``.
+
+    Returns ``{buffer_name: (constant_name, constant_value)}``.
+    """
+    guarded: dict[str, tuple[str, int]] = {}
+    for node in walk_function(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        buf_name = None
+        const = None
+        for operand in operands:
+            if (
+                isinstance(operand, ast.Call)
+                and isinstance(operand.func, ast.Name)
+                and operand.func.id == "len"
+                and len(operand.args) == 1
+                and isinstance(operand.args[0], ast.Name)
+            ):
+                buf_name = operand.args[0].id
+            elif isinstance(operand, ast.Name) and operand.id in constants:
+                const = operand.id
+        if buf_name is not None and const is not None:
+            guarded[buf_name] = (const, constants[const])
+    return guarded
+
+
+class StructFormatRule(Rule):
+    """Struct format strings must agree with the widths used around them."""
+
+    code = "PL002"
+    title = "struct-format consistency"
+    rationale = (
+        "A format string whose computed width disagrees with the frame "
+        "constant or slice feeding it writes files that no released "
+        "reader can decode."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        yield from self._check_struct_calls(module)
+        yield from self._check_frame_constants(module)
+
+    def _check_struct_calls(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            struct_func = _struct_call(node)
+            if struct_func is None or not node.args:
+                continue
+            fmt_node = node.args[0]
+            if not (
+                isinstance(fmt_node, ast.Constant)
+                and isinstance(fmt_node.value, str)
+            ):
+                continue
+            fmt = fmt_node.value
+            try:
+                width = struct.calcsize(fmt)
+            except struct.error as exc:
+                yield self.finding(
+                    module,
+                    node,
+                    f"invalid struct format {fmt!r}: {exc}",
+                )
+                continue
+            if struct_func == "pack":
+                given = len(node.args) - 1
+                expected = _field_count(fmt)
+                if given != expected:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"struct.pack({fmt!r}, ...) packs {given} "
+                        f"value(s) but the format has {expected} "
+                        "field(s)",
+                    )
+            elif struct_func == "unpack" and len(node.args) >= 2:
+                sliced = _literal_slice_width(node.args[1])
+                if sliced is not None and sliced != width:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"struct.unpack({fmt!r}, ...) needs {width} "
+                        f"byte(s) but the slice provides {sliced}",
+                    )
+
+    def _check_frame_constants(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        constants = _module_frame_constants(module)
+        if not constants:
+            return
+        for func in module.functions():
+            guarded = _guarded_buffers(func, constants)
+            if not guarded:
+                continue
+            for node in walk_function(func):
+                if not (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.slice, ast.Slice)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in guarded
+                ):
+                    continue
+                const_name, const_value = guarded[node.value.id]
+                for bound in (node.slice.lower, node.slice.upper):
+                    value = _int_value(bound)
+                    if value is not None and value > const_value:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"slice bound {value} on "
+                            f"'{node.value.id}' exceeds frame "
+                            f"constant {const_name} = {const_value}",
+                        )

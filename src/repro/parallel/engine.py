@@ -43,6 +43,7 @@ from multiprocessing.shared_memory import SharedMemory
 
 from repro.compressors.base import CodecError
 from repro.core.primacy import PrimacyCompressor, PrimacyConfig
+from repro.lint import sanitize
 from repro.util.buffers import as_view
 
 __all__ = [
@@ -77,7 +78,9 @@ def _ship_error(exc: Exception):
     tb = traceback.format_exc()
     try:
         pickle.loads(pickle.dumps(exc))
-    except Exception:
+    # Probing picklability: __reduce__ may raise literally anything, and
+    # every failure means the same thing -- ship text, not the object.
+    except Exception:  # primacy-lint: disable=PL001 -- picklability probe
         return (None, tb)
     return (exc, tb)
 
@@ -180,6 +183,7 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
     exit, so there we must unregister after every attach.
     """
     compressors: list = []
+    led = sanitize.ledger() if sanitize.enabled() else None
     while True:
         item = task_q.get()
         if item is None:
@@ -190,16 +194,24 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
         try:
             if shm_name is not None:
                 shm = SharedMemory(name=shm_name)
+                if led is not None:
+                    led.track_segment(
+                        shm.name, shm.size, origin="worker-attach"
+                    )
                 try:
                     data = bytes(shm.buf[offset : offset + length])
                 finally:
                     shm.close()
+                    if led is not None:
+                        led.untrack_segment(shm.name)
                     if untrack:  # pragma: no cover - non-fork platforms
                         try:
                             resource_tracker.unregister(
                                 shm._name, "shared_memory"
                             )
-                        except Exception:
+                        # Best-effort bpo-39959 workaround; the tracker
+                        # may not know the name and that is fine.
+                        except Exception:  # primacy-lint: disable=PL001 -- best-effort cleanup
                             pass
             else:
                 data = payload
@@ -216,10 +228,15 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
                     out_bytes,
                 )
             )
-        except Exception as exc:
+        # The pool boundary: a malformed chunk must not kill the worker,
+        # so everything is caught and shipped to the parent, where
+        # _raise_task_error re-raises typed CodecErrors intact.
+        except Exception as exc:  # primacy-lint: disable=PL001 -- shipped to parent, typed errors preserved
             result_q.put(
                 (task_id, False, _ship_error(exc), queue_wait, 0.0, 0)
             )
+    if led is not None:
+        led.report("worker exit")
 
 
 class ParallelEngine:
@@ -272,6 +289,7 @@ class ParallelEngine:
         self._task_shm: dict[int, SharedMemory] = {}
         self._free_shm: dict[int, deque] = {}
         self._all_shm: list[SharedMemory] = []
+        self._ledger = sanitize.ledger() if sanitize.enabled() else None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -311,7 +329,10 @@ class ParallelEngine:
             if self.stats.started_at is None:
                 self.stats.started_at = time.monotonic()
             self.stats.stopped_at = None
-        except Exception as exc:  # pragma: no cover - depends on host limits
+        # Pool startup can fail in host-specific ways (process limits,
+        # /dev/shm quotas); every failure degrades to inline execution
+        # with identical results, which is the documented contract.
+        except Exception as exc:  # pragma: no cover - depends on host limits  # primacy-lint: disable=PL001 -- graceful inline fallback
             warnings.warn(
                 f"parallel engine failed to start ({exc}); "
                 "falling back to inline execution",
@@ -352,6 +373,8 @@ class ParallelEngine:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            if self._ledger is not None:
+                self._ledger.untrack_segment(shm.name)
         self._all_shm = []
         self._free_shm = {}
         self._task_shm = {}
@@ -359,6 +382,8 @@ class ParallelEngine:
         self._done = {}
         if self.stats.started_at is not None and self.stats.stopped_at is None:
             self.stats.stopped_at = time.monotonic()
+        if self._ledger is not None:
+            self._ledger.report("ParallelEngine.close", owner=id(self))
 
     def _halt_procs(self) -> None:
         procs, self._procs = self._procs, []
@@ -414,6 +439,10 @@ class ParallelEngine:
         # allocate with so lookups always hit.
         shm._engine_capacity = capacity
         self._all_shm.append(shm)
+        if self._ledger is not None:
+            self._ledger.track_segment(
+                shm.name, shm.size, origin="engine", owner=id(self)
+            )
         return shm
 
     def _release_segment(self, task_id: int) -> None:
@@ -452,7 +481,10 @@ class ParallelEngine:
                 )
                 result, _ = _execute(comp, kind, view)
                 self._done[task_id] = (True, result)
-            except Exception as exc:
+            # Mirrors the worker loop's pool boundary: the error is
+            # stashed and pop() re-raises it typed, exactly as if a
+            # worker had shipped it back.
+            except Exception as exc:  # primacy-lint: disable=PL001 -- stashed for pop(), typed errors preserved
                 self._done[task_id] = (False, _ship_error(exc))
             self.stats.tasks += 1
             self.stats.inline_tasks += 1
@@ -463,7 +495,13 @@ class ParallelEngine:
         cfg = None if (config is None or config == self.config) else config
         if len(view) >= _SMALL_PAYLOAD:
             shm = self._acquire_segment(len(view))
-            shm.buf[: len(view)] = view
+            if self._ledger is None:
+                shm.buf[: len(view)] = view
+            else:
+                with self._ledger.tracked_view(
+                    shm, origin="engine.submit"
+                ) as buf:
+                    buf[: len(view)] = view
             self._task_shm[task_id] = shm
             descriptor = (task_id, kind, cfg, shm.name, 0, len(view), None, t0)
             self.stats.shm_bytes += len(view)

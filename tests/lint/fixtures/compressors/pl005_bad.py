@@ -1,0 +1,15 @@
+"""PL005 fixture that MUST be flagged (codec-registry completeness)."""
+
+from repro.compressors.base import Codec
+
+
+class OrphanCodec(Codec):
+    """A codec that nobody registered: unreachable from the registry."""
+
+    name = "orphan"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data

@@ -1,0 +1,49 @@
+"""PL005 fixtures that must lint clean (codec-registry completeness)."""
+
+from repro.compressors.base import Codec, register_codec
+
+
+@register_codec
+class DecoratedCodec(Codec):
+    """Registered through the decorator."""
+
+    name = "fixture-decorated"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+
+class CallRegisteredCodec(Codec):
+    """Registered through a module-level call."""
+
+    name = "fixture-call-registered"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+
+register_codec(CallRegisteredCodec)
+
+
+class _PrivateHelperCodec(Codec):
+    """Private helpers are exempt."""
+
+    name = "fixture-private"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+
+class StillAbstractCodec(Codec):
+    """No registry identity yet: keeps the sentinel name."""
+
+    name = "abstract"

@@ -1,0 +1,19 @@
+"""PL004 fixtures that MUST be flagged (bounds discipline).
+
+Lives under a ``core/`` path segment so the rule's storage//core/ scope
+applies to it.
+"""
+
+
+def decode_record(record: bytes, pos: int, length: int):
+    payload = record[pos : pos + length]  # dynamic width, never checked
+    return payload
+
+
+def decode_header(data: bytes):
+    magic = data[:4]  # literal slice with no preceding length guard
+    return magic
+
+
+def read_flags(record: bytes):
+    return record[0]  # direct index with no preceding bounds check

@@ -1,0 +1,41 @@
+"""PL004 fixtures that must lint clean (bounds discipline)."""
+
+
+class TruncationError(ValueError):
+    pass
+
+
+def decode_record(record: bytes, pos: int, length: int):
+    payload = record[pos : pos + length]
+    if len(payload) != length:
+        raise TruncationError("payload truncated")
+    return payload
+
+
+def decode_header(data: bytes):
+    if len(data) < 6:
+        raise TruncationError("header too short")
+    magic = data[:4]
+    version = data[4]
+    return magic, version
+
+
+def read_flags(record: bytes):
+    if not record:
+        raise TruncationError("empty record")
+    return record[0]
+
+
+def decode_checksum(record: bytes, pos: int, n: int):
+    if len(record) - pos < n:
+        raise TruncationError("checksum truncated")
+    return record[pos : pos + n]
+
+
+def decode_suppressed(record: bytes, pos: int, n: int):
+    return record[pos : pos + n]  # primacy-lint: disable=PL004 -- caller validated
+
+
+def encode_record(buf: bytes):
+    # Encoder-side helpers are out of scope: not a decode-path name.
+    return buf[1:]

@@ -1,0 +1,32 @@
+"""PL001 fixtures that MUST be flagged (exception discipline).
+
+Not imported by tests -- parsed by the linter only.
+"""
+
+
+def swallow_everything(data):
+    try:
+        return data[0]
+    except Exception:  # line 10: broad swallow, no re-raise
+        return None
+
+
+def wrap_untyped(data):
+    try:
+        return data[0]
+    except Exception as exc:  # line 17: re-raises an untyped RuntimeError
+        raise RuntimeError(f"boom: {exc}") from exc
+
+
+def bare_swallow(data):
+    try:
+        return data[0]
+    except:  # noqa: E722  # line 24: bare except, swallowed
+        return None
+
+
+def decode_record(record):
+    try:
+        return record[1:]
+    except IndexError:  # line 31: narrow swallow inside a decode path
+        return b""

@@ -1,0 +1,47 @@
+"""PL001 fixtures that must lint clean (exception discipline)."""
+
+from repro.compressors.base import CodecError, CorruptionError, TruncationError
+
+
+class ManifestError(CorruptionError):
+    """Local taxonomy member: subclasses count as typed."""
+
+
+def wrap_typed(record):
+    try:
+        return record[0]
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CorruptionError(f"undecodable record: {exc}") from exc
+
+
+def wrap_local_subclass(record):
+    try:
+        return record[0]
+    except Exception as exc:
+        raise ManifestError("bad manifest") from exc
+
+
+def reraise_bare(record):
+    try:
+        return record[0]
+    except Exception:
+        raise
+
+
+def decode_window(record):
+    # Narrow handler in a decode path that conditionally re-raises.
+    try:
+        return record[1:]
+    except IndexError:
+        if not record:
+            raise TruncationError("empty record") from None
+        raise
+
+
+def intentional_swallow(sock):
+    try:
+        sock.close()
+    except Exception:  # primacy-lint: disable=PL001 -- best-effort close
+        pass

@@ -1,0 +1,24 @@
+"""PL002 fixtures that MUST be flagged (struct-format consistency)."""
+
+import struct
+
+TRAILER_BYTES = 16
+
+
+def bad_format():
+    return struct.calcsize("<Qz")  # 'z' is not a struct code
+
+
+def pack_count_mismatch(a, b):
+    return struct.pack("<QI", a, b, 7)  # 2 fields, 3 values
+
+
+def unpack_width_mismatch(trailer):
+    return struct.unpack("<QI", trailer[:10])  # needs 12 bytes, slice has 10
+
+
+def decode_trailer(trailer):
+    if len(trailer) != TRAILER_BYTES:
+        raise ValueError("bad trailer")
+    magic = trailer[16:20]  # slice bound 20 beyond TRAILER_BYTES = 16
+    return magic

@@ -1,0 +1,25 @@
+"""PL002 fixtures that must lint clean (struct-format consistency)."""
+
+import struct
+
+TRAILER_BYTES = 16
+
+
+def pack_trailer(footer_len, crc):
+    return struct.pack("<QI", footer_len, crc) + b"PRIE"
+
+
+def unpack_trailer(trailer):
+    if len(trailer) != TRAILER_BYTES:
+        raise ValueError("bad trailer")
+    footer_len, crc = struct.unpack("<QI", trailer[:12])
+    magic = trailer[12:16]
+    return footer_len, crc, magic
+
+
+def repeated_fields(raw):
+    return struct.unpack("<4H", raw[:8])
+
+
+def padded_and_strings(tag, blob):
+    return struct.pack("<B3x4s", tag, blob)

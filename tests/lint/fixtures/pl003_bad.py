@@ -1,0 +1,25 @@
+"""PL003 fixtures that MUST be flagged (SharedMemory/memoryview lifecycle)."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_on_exception(payload):
+    shm = SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload  # a raise here leaks the segment
+    shm.close()
+    shm.unlink()
+
+
+def leak_attached_segment(name):
+    shm = SharedMemory(name=name)
+    return bytes(shm.buf[:16])  # attached segment never closed
+
+
+def leak_memoryview(shm):
+    view = memoryview(shm.buf)
+    return view[0]  # view pins the mapping and is never released
+
+
+def leak_buf_alias(shm):
+    buf = shm.buf
+    buf[0] = 1  # .buf alias kept without release()

@@ -1,0 +1,39 @@
+"""PL003 fixtures that must lint clean (SharedMemory/memoryview lifecycle)."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def close_in_finally(payload):
+    shm = SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def transfer_to_registry(pool, length):
+    shm = SharedMemory(create=True, size=length)
+    pool.append(shm)  # ownership transferred to the pool
+    return shm
+
+
+class SegmentOwner:
+    def adopt(self, length):
+        shm = SharedMemory(create=True, size=length)
+        self.segment = shm  # ownership transferred to the instance
+        return self.segment
+
+
+def release_in_finally(shm):
+    view = memoryview(shm.buf)
+    try:
+        return bytes(view[:16])
+    finally:
+        view.release()
+
+
+def suppressed_leak(name):
+    shm = SharedMemory(name=name)  # primacy-lint: disable=PL003 -- closed by caller
+    return shm.buf

@@ -1,0 +1,179 @@
+"""Framework behaviour: suppressions, filtering, baselines, output formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintError,
+    Severity,
+    format_findings_json,
+    format_findings_text,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_SOURCE = """\
+def decode_record(data):
+    try:
+        return data[0]
+    except Exception:
+        return None
+"""
+
+
+def write_module(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+def test_same_line_suppression(tmp_path):
+    path = write_module(
+        tmp_path,
+        BAD_SOURCE.replace(
+            "except Exception:",
+            "except Exception:  # primacy-lint: disable=PL001 -- intentional",
+        ),
+    )
+    assert lint_paths([path], select=["PL001"], project_root=tmp_path) == []
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path):
+    path = write_module(
+        tmp_path,
+        BAD_SOURCE.replace(
+            "except Exception:",
+            "except Exception:  # primacy-lint: disable=PL002",
+        ),
+    )
+    findings = lint_paths([path], select=["PL001"], project_root=tmp_path)
+    assert len(findings) == 1
+
+
+def test_file_level_suppression(tmp_path):
+    path = write_module(
+        tmp_path, "# primacy-lint: disable-file=PL001\n" + BAD_SOURCE
+    )
+    assert lint_paths([path], select=["PL001"], project_root=tmp_path) == []
+
+
+def test_disable_all_suppression(tmp_path):
+    path = write_module(
+        tmp_path,
+        BAD_SOURCE.replace(
+            "except Exception:",
+            "except Exception:  # primacy-lint: disable=all",
+        ),
+    )
+    assert lint_paths([path], project_root=tmp_path) == []
+
+
+def test_select_and_ignore(tmp_path):
+    path = write_module(tmp_path, BAD_SOURCE)
+    assert lint_paths([path], select=["PL002"], project_root=tmp_path) == []
+    assert lint_paths([path], ignore=["PL001"], project_root=tmp_path) == []
+    findings = lint_paths([path], select=["PL001"], project_root=tmp_path)
+    assert [f.rule for f in findings] == ["PL001"]
+
+
+def test_unknown_rule_code_raises(tmp_path):
+    path = write_module(tmp_path, "x = 1\n")
+    with pytest.raises(LintError):
+        lint_paths([path], select=["PL999"], project_root=tmp_path)
+    with pytest.raises(LintError):
+        lint_paths([path], ignore=["bogus"], project_root=tmp_path)
+
+
+def test_missing_path_raises(tmp_path):
+    with pytest.raises(LintError):
+        lint_paths([tmp_path / "nope.py"], project_root=tmp_path)
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    path = write_module(tmp_path, "def broken(:\n")
+    findings = lint_paths([path], project_root=tmp_path)
+    assert len(findings) == 1
+    assert findings[0].rule == "PL000"
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_fingerprint_is_line_independent(tmp_path):
+    a = write_module(tmp_path, BAD_SOURCE, "a.py")
+    b = write_module(tmp_path, "\n\n\n" + BAD_SOURCE, "b.py")
+    fa = lint_paths([a], project_root=tmp_path)[0]
+    fb = lint_paths([b], project_root=tmp_path)[0]
+    assert fa.line != fb.line
+    # Same message + rule, different file -> different fingerprints.
+    assert fa.fingerprint != fb.fingerprint
+    # Re-linting the same file reproduces the same fingerprint.
+    assert fa.fingerprint == lint_paths([a], project_root=tmp_path)[0].fingerprint
+
+
+def test_baseline_demotes_known_findings(tmp_path):
+    path = write_module(tmp_path, BAD_SOURCE)
+    findings = lint_paths([path], project_root=tmp_path)
+    assert findings and findings[0].severity is Severity.ERROR
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    baseline = load_baseline(baseline_path)
+    demoted = lint_paths([path], project_root=tmp_path, baseline=baseline)
+    assert demoted and all(f.severity is Severity.WARNING for f in demoted)
+
+    # A new *kind* of violation in the same file is NOT demoted.
+    extra = BAD_SOURCE.replace("decode_record", "decode_other").replace(
+        "except Exception:", "except:"
+    )
+    path.write_text(BAD_SOURCE + "\n\n" + extra)
+    again = lint_paths([path], project_root=tmp_path, baseline=baseline)
+    severities = sorted(f.severity.name for f in again)
+    assert "ERROR" in severities and "WARNING" in severities
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    bogus = tmp_path / "baseline.json"
+    bogus.write_text("not json at all{{{")
+    with pytest.raises(LintError):
+        load_baseline(bogus)
+
+
+def test_text_output_shape(tmp_path):
+    path = write_module(tmp_path, BAD_SOURCE)
+    findings = lint_paths([path], project_root=tmp_path)
+    text = format_findings_text(findings)
+    assert "PL001" in text
+    assert text.strip().endswith("1 error(s), 0 warning(s)")
+
+
+def test_json_output_shape(tmp_path):
+    path = write_module(tmp_path, BAD_SOURCE)
+    findings = lint_paths([path], project_root=tmp_path)
+    payload = json.loads(format_findings_json(findings))
+    assert payload["summary"] == {"errors": 1, "warnings": 0, "total": 1}
+    record = payload["findings"][0]
+    assert record["rule"] == "PL001"
+    assert record["severity"] == "error"
+    assert record["line"] == 4
+    assert record["fingerprint"] == findings[0].fingerprint
+
+
+def test_directory_walk_skips_hidden_and_cache(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    write_module(pkg, BAD_SOURCE, "visible.py")
+    cache = pkg / "__pycache__"
+    cache.mkdir()
+    write_module(cache, BAD_SOURCE, "cached.py")
+    hidden = pkg / ".hidden"
+    hidden.mkdir()
+    write_module(hidden, BAD_SOURCE, "secret.py")
+    findings = lint_paths([pkg], project_root=tmp_path)
+    assert len(findings) == 1
+    assert findings[0].path.endswith("visible.py")
