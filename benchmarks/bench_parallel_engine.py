@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 from _common import RESULTS_DIR, Table, dataset_bytes, mbps, time_call
 
+from repro import obs
 from repro.core import PrimacyCompressor, PrimacyConfig
 from repro.parallel import ParallelCompressor, ParallelDecompressor
 
@@ -123,3 +125,124 @@ def test_parallel_engine_scaling(once):
             eng = row["engine"]
             assert eng["shm_bytes"] > eng["pickled_bytes"]
             assert eng["tasks"] > 0
+
+
+def _best_of(fn, repeats: int = 7) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _best_of_pair(fn_a, fn_b, repeats: int = 9) -> tuple[float, float]:
+    """Interleaved best-of timing for an A/B comparison.
+
+    Alternating the two candidates inside one loop cancels the
+    slow-drift noise (thermal, host contention) that a measure-all-of-A-
+    then-all-of-B loop folds into the difference.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_observability_overhead(once):
+    """Cost of the ``repro.obs`` hooks with instrumentation *off*.
+
+    Every hot-path hook is one attribute check when disabled; the
+    requirement is <5% compress overhead against the bare pipeline.  The
+    bare path is still reachable (``functools.wraps`` keeps the raw
+    codec implementation as ``__wrapped__``), so both codec-level and
+    pipeline-level costs are measured.  The hard assertions are the
+    deterministic ones -- a disabled run must record *nothing* -- plus a
+    generous timing tripwire; exact percentages land in the JSON for
+    trend tracking.
+    """
+
+    def run():
+        data = dataset_bytes("obs_temp")
+        cfg = PrimacyConfig(chunk_bytes=_CHUNK_BYTES)
+        from repro.compressors import get_codec
+
+        obs.disable()
+        obs.reset()
+
+        # Codec level: instrumented-but-disabled vs the raw implementation.
+        codec = get_codec("pyzlib")
+        bare_compress = type(codec).compress.__wrapped__
+        t_bare, t_disabled = _best_of_pair(
+            lambda: bare_compress(codec, data),
+            lambda: codec.compress(data),
+        )
+
+        # Pipeline level: full compress with hooks disabled vs enabled.
+        comp = PrimacyCompressor(cfg)
+        t_pipe_disabled = _best_of(lambda: comp.compress(data), repeats=5)
+        recorded_disabled = len(obs.registry()) + len(obs.recorder().spans())
+        obs.enable()
+        t_pipe_enabled = _best_of(lambda: comp.compress(data), repeats=5)
+        recorded_enabled = len(obs.registry())
+        obs.disable()
+        obs.reset()
+
+        return {
+            "dataset": "obs_temp",
+            "n_bytes": len(data),
+            "codec_bare_seconds": t_bare,
+            "codec_disabled_seconds": t_disabled,
+            "codec_overhead_fraction": (t_disabled - t_bare) / t_bare,
+            "pipeline_disabled_seconds": t_pipe_disabled,
+            "pipeline_enabled_seconds": t_pipe_enabled,
+            "pipeline_enabled_overhead_fraction": (
+                (t_pipe_enabled - t_pipe_disabled) / t_pipe_disabled
+            ),
+            "recorded_while_disabled": recorded_disabled,
+            "recorded_while_enabled": recorded_enabled,
+        }
+
+    result = once(run)
+    n = result["n_bytes"]
+    table = Table(
+        f"Extension -- observability overhead (obs_temp, {n} bytes)",
+        ["path", "MB/s", "overhead"],
+    )
+    table.add("codec bare", mbps(n, result["codec_bare_seconds"]), "-")
+    table.add(
+        "codec hooks off",
+        mbps(n, result["codec_disabled_seconds"]),
+        f"{result['codec_overhead_fraction']:+.1%}",
+    )
+    table.add(
+        "pipeline hooks off", mbps(n, result["pipeline_disabled_seconds"]), "-"
+    )
+    table.add(
+        "pipeline hooks ON",
+        mbps(n, result["pipeline_enabled_seconds"]),
+        f"{result['pipeline_enabled_overhead_fraction']:+.1%}",
+    )
+    table.note(
+        "hooks off = instrumented entry points with obs disabled "
+        "(one flag check per call); requirement is <5% vs bare"
+    )
+    table.emit("obs_overhead.txt")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Deterministic: disabled instrumentation writes nothing, enabled
+    # instrumentation writes something.
+    assert result["recorded_while_disabled"] == 0
+    assert result["recorded_while_enabled"] > 0
+    # Tripwire, not a benchmark assertion: the disabled hook is one flag
+    # check, so even noisy CI hosts sit far below this bound.
+    assert result["codec_overhead_fraction"] < 0.50

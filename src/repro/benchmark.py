@@ -1,0 +1,160 @@
+"""Throughput benchmark harness behind ``primacy bench``.
+
+Measures the paper's three headline metrics -- compression ratio (CR),
+compression throughput (CTP), and decompression throughput (DTP), both
+in MB/s of *original* data -- over the synthetic dataset registry, and
+compares a run against a stored baseline so CI can gate on regressions.
+
+The result dict is plain JSON (written to ``results/BENCH_obs.json`` by
+the CI job); :func:`compare` returns human-readable regression messages
+for every metric that fell more than ``threshold`` below the baseline.
+Throughput comparisons are only as stable as the machine they run on,
+so committed baselines should be conservative floors, not hot-cache
+bests; the ratio comparison is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.primacy import PrimacyCompressor, PrimacyConfig
+from repro.datasets import dataset_names, generate_bytes
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_THRESHOLD",
+    "measure_dataset",
+    "run_bench",
+    "compare",
+]
+
+SCHEMA_VERSION = 1
+
+#: Relative drop (vs baseline) above which a metric counts as regressed.
+DEFAULT_THRESHOLD = 0.10
+
+#: Metrics compared against a baseline; all are "bigger is better".
+_GATED_METRICS = ("compression_ratio", "compress_mbps", "decompress_mbps")
+
+
+def measure_dataset(
+    name: str,
+    n_values: int,
+    config: PrimacyConfig,
+    *,
+    repeats: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+) -> dict:
+    """CR/CTP/DTP for one synthetic dataset.
+
+    Keeps the best (minimum) time over ``repeats`` runs per direction --
+    the least noisy estimator of the true cost.  The round trip is
+    verified; a silently lossy pipeline must fail the bench, not post a
+    fast number.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    data = generate_bytes(name, n_values, seed)
+
+    def _compress_once():
+        if workers > 1:
+            from repro.parallel import ParallelCompressor
+
+            with ParallelCompressor(config, workers=workers) as comp:
+                return comp.compress(data)
+        return PrimacyCompressor(config).compress(data)
+
+    best_ct = float("inf")
+    out = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out, _stats = _compress_once()
+        best_ct = min(best_ct, time.perf_counter() - t0)
+
+    best_dt = float("inf")
+    restored = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        restored = PrimacyCompressor(config).decompress(out)
+        best_dt = min(best_dt, time.perf_counter() - t0)
+    if restored != data:
+        raise RuntimeError(f"bench round trip failed for dataset {name!r}")
+
+    n = len(data)
+    return {
+        "original_bytes": n,
+        "compressed_bytes": len(out),
+        "compression_ratio": n / len(out) if out else 1.0,
+        "compress_mbps": n / 1e6 / best_ct if best_ct > 0 else float("inf"),
+        "decompress_mbps": n / 1e6 / best_dt if best_dt > 0 else float("inf"),
+    }
+
+
+def run_bench(
+    datasets: list[str] | None = None,
+    *,
+    n_values: int = 1 << 15,
+    config: PrimacyConfig | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+) -> dict:
+    """Benchmark every requested dataset; returns the result document."""
+    config = config or PrimacyConfig()
+    names = datasets if datasets is not None else dataset_names()
+    unknown = sorted(set(names) - set(dataset_names()))
+    if unknown:
+        raise ValueError(f"unknown dataset(s): {', '.join(unknown)}")
+    results = {
+        name: measure_dataset(
+            name, n_values, config,
+            repeats=repeats, seed=seed, workers=workers,
+        )
+        for name in names
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": {
+            "codec": config.codec,
+            "chunk_bytes": config.chunk_bytes,
+            "n_values": n_values,
+            "seed": seed,
+            "workers": workers,
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+
+
+def compare(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regression messages for metrics > ``threshold`` below baseline.
+
+    Only datasets present in both documents are compared, so a baseline
+    can cover a subset (or an old superset) of the current registry.
+    An empty list means the gate passes.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    regressions: list[str] = []
+    base_results = baseline.get("results", {})
+    for name, cur in sorted(current.get("results", {}).items()):
+        base = base_results.get(name)
+        if base is None:
+            continue
+        for metric in _GATED_METRICS:
+            if metric not in base or metric not in cur:
+                continue
+            ref = float(base[metric])
+            got = float(cur[metric])
+            if ref <= 0:
+                continue
+            drop = (ref - got) / ref
+            if drop > threshold:
+                regressions.append(
+                    f"{name}: {metric} regressed {drop:.1%} "
+                    f"(baseline {ref:.3f}, current {got:.3f})"
+                )
+    return regressions

@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 import io
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -37,6 +38,9 @@ import numpy as np
 from repro.compressors.base import CodecError, CorruptionError, TruncationError
 from repro.core.idmap import IndexReusePolicy
 from repro.core.primacy import PrimacyConfig
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+from repro.obs.runtime import STATE as _OBS_STATE
 from repro.storage.reader import PrimacyFileReader
 from repro.storage.writer import PrimacyFileWriter
 from repro.util.checksum import crc32
@@ -245,11 +249,22 @@ class CheckpointWriter:
                 word_bytes=array.dtype.itemsize,
                 high_bytes=high,
             )
+        t0 = time.perf_counter() if _OBS_STATE.enabled else 0.0
         segment = io.BytesIO()
         with PrimacyFileWriter(segment, config, engine=self._engine) as writer:
             writer.write(array.astype(array.dtype.newbyteorder("<")).tobytes())
         blob = segment.getvalue()
         self._fh.write(blob)
+        if _OBS_STATE.enabled:
+            reg = _obs_metrics.registry()
+            reg.counter("checkpoint.write.variables").inc()
+            reg.counter("checkpoint.write.bytes_in").inc(array.nbytes)
+            reg.counter("checkpoint.write.bytes_out").inc(len(blob))
+            _obs_trace.record_span(
+                "checkpoint.write_variable",
+                time.perf_counter() - t0,
+                variable=name,
+            )
         self._entries.append(
             VariableMeta(
                 step=step,
@@ -433,11 +448,20 @@ class CheckpointReader:
 
     def read(self, step: int, name: str) -> np.ndarray:
         """Read one whole variable."""
+        t0 = time.perf_counter() if _OBS_STATE.enabled else 0.0
         entry = self.meta(step, name)
         reader = self._segment_reader(entry)
         try:
             raw = reader.read_all()
-            return np.frombuffer(raw, dtype=entry.dtype).reshape(entry.shape)
+            out = np.frombuffer(raw, dtype=entry.dtype).reshape(entry.shape)
+            if _OBS_STATE.enabled:
+                reg = _obs_metrics.registry()
+                reg.counter("checkpoint.read.variables").inc()
+                reg.counter("checkpoint.read.bytes").inc(out.nbytes)
+                _obs_trace.record_span(
+                    "checkpoint.read", time.perf_counter() - t0, variable=name
+                )
+            return out
         except CodecError as exc:
             _tag_segment(exc, entry)
             raise

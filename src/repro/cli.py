@@ -11,6 +11,8 @@ Subcommands::
     primacy fsck FILE                # verify a PRIF/PRCK file, localize damage
     primacy salvage IN OUT           # recover readable chunks from a damaged file
     primacy lint [PATHS...]          # AST codec-invariant checker (PL001..PL005)
+    primacy stats [IN]               # run a workload with observability on, report
+    primacy bench                    # CR/CTP/DTP over the dataset registry, gate vs baseline
 
 Exit status is non-zero on any error; messages go to stderr.
 """
@@ -201,6 +203,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", type=Path, default=None)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "stats",
+        help="compress (and decompress) a workload with observability "
+        "on and print the per-stage report",
+    )
+    p.add_argument(
+        "input", type=Path, nargs="?", default=None,
+        help="file of float64 data (alternative: --dataset)",
+    )
+    p.add_argument(
+        "--dataset", default=None, metavar="NAME",
+        help="use a synthetic dataset instead of an input file",
+    )
+    p.add_argument("--n-values", type=int, default=1 << 16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--codec", default="pyzlib")
+    p.add_argument("--chunk-bytes", type=int, default=256 * 1024)
+    p.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="run the workload through the parallel engine",
+    )
+    p.add_argument(
+        "--skip-decompress", action="store_true",
+        help="measure the compress side only",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
+    p.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="also stream spans to FILE as JSONL",
+    )
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure CR/CTP/DTP over the synthetic dataset registry",
+    )
+    p.add_argument(
+        "--datasets", default=None, metavar="A,B,...",
+        help="comma-separated dataset subset (default: all)",
+    )
+    p.add_argument("--n-values", type=int, default=1 << 15)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--codec", default="pyzlib")
+    p.add_argument("--chunk-bytes", type=int, default=256 * 1024)
+    p.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="compress through the parallel engine",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=1,
+        help="timed repetitions per direction (best is kept)",
+    )
+    p.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the result document to FILE as JSON",
+    )
+    p.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="compare against a stored result document",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any metric regressed past --threshold",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative drop vs baseline that counts as a regression",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("model", help="evaluate the Sec-III performance model")
     p.add_argument("--chunk-mb", type=float, default=3.0)
@@ -473,6 +548,105 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if any(f.severity is Severity.ERROR for f in findings)
         else 0
     )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    if (args.input is None) == (args.dataset is None):
+        print(
+            "error: provide exactly one of INPUT or --dataset",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset is not None:
+        data = generate_bytes(args.dataset, args.n_values, args.seed)
+        source = f"dataset {args.dataset!r} ({args.n_values} values)"
+    else:
+        data = args.input.read_bytes()
+        source = str(args.input)
+    config = PrimacyConfig(codec=args.codec, chunk_bytes=args.chunk_bytes)
+
+    obs.reset()
+    obs.enable(trace_path=args.trace)
+    try:
+        if args.workers > 1:
+            from repro.parallel import ParallelCompressor, ParallelDecompressor
+
+            with ParallelCompressor(config, workers=args.workers) as comp:
+                out, _ = comp.compress(data)
+            if not args.skip_decompress:
+                with ParallelDecompressor(workers=args.workers) as dec:
+                    dec.decompress(out)
+        else:
+            out, _ = PrimacyCompressor(config).compress(data)
+            if not args.skip_decompress:
+                PrimacyCompressor(config).decompress(out)
+    finally:
+        obs.disable()
+    report = obs.report.collect()
+
+    if args.as_json:
+        report["workload"] = {
+            "source": source,
+            "original_bytes": len(data),
+            "compressed_bytes": len(out),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    ratio = len(data) / len(out) if out else 1.0
+    print(f"workload:  {source}")
+    print(f"bytes:     {len(data)} -> {len(out)}  CR={ratio:.3f}")
+    print(obs.report.render_text(report))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.benchmark import compare, run_bench
+
+    if args.check and args.baseline is None:
+        print("error: --check requires --baseline", file=sys.stderr)
+        return 2
+    datasets = (
+        [d.strip() for d in args.datasets.split(",") if d.strip()]
+        if args.datasets is not None
+        else None
+    )
+    config = PrimacyConfig(codec=args.codec, chunk_bytes=args.chunk_bytes)
+    document = run_bench(
+        datasets,
+        n_values=args.n_values,
+        config=config,
+        repeats=args.repeats,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(f"{'dataset':20s} {'CR':>7s} {'CTP MB/s':>9s} {'DTP MB/s':>9s}")
+    for name, row in sorted(document["results"].items()):
+        print(
+            f"{name:20s} {row['compression_ratio']:7.3f} "
+            f"{row['compress_mbps']:9.2f} {row['decompress_mbps']:9.2f}"
+        )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(document, indent=2, sort_keys=True))
+        print(f"wrote {args.output}")
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        regressions = compare(document, baseline, args.threshold)
+        if regressions:
+            for message in regressions:
+                print(f"REGRESSION {message}", file=sys.stderr)
+            if args.check:
+                return 3
+        else:
+            print(f"no regressions vs {args.baseline} "
+                  f"(threshold {args.threshold:.0%})")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

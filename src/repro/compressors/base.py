@@ -15,11 +15,16 @@ decompression throughput DTP, all relative to *original* data size.
 from __future__ import annotations
 
 import abc
+import functools
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+from repro.obs.runtime import STATE as _OBS_STATE
 
 __all__ = [
     "Codec",
@@ -84,6 +89,35 @@ def as_bytes(data: bytes | bytearray | memoryview | np.ndarray) -> bytes:
     raise TypeError(f"cannot interpret {type(data).__name__} as bytes")
 
 
+def _observe_codec_call(fn, op: str):
+    """Wrap a concrete ``compress``/``decompress`` with the obs hook.
+
+    Disabled cost is one flag check; enabled, every call records bytes
+    in/out, a latency histogram sample, and a ``codec.<op>`` span
+    labelled with the codec's registry name.  The raw implementation
+    stays reachable as ``__wrapped__`` (the observability-overhead
+    benchmark times it directly).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, data):
+        if not _OBS_STATE.enabled:
+            return fn(self, data)
+        t0 = time.perf_counter()
+        out = fn(self, data)
+        seconds = time.perf_counter() - t0
+        reg = _obs_metrics.registry()
+        reg.counter(f"codec.{op}.calls", codec=self.name).inc()
+        reg.counter(f"codec.{op}.bytes_in", codec=self.name).inc(len(data))
+        reg.counter(f"codec.{op}.bytes_out", codec=self.name).inc(len(out))
+        reg.histogram(f"codec.{op}.seconds", codec=self.name).observe(seconds)
+        _obs_trace.record_span(f"codec.{op}", seconds, codec=self.name)
+        return out
+
+    wrapper._obs_instrumented = True
+    return wrapper
+
+
 class Codec(abc.ABC):
     """Abstract lossless byte codec.
 
@@ -99,6 +133,23 @@ class Codec(abc.ABC):
     #: identical ``(name, options)``.  Codecs that keep per-call state
     #: on the instance (e.g. ``PrimacyCodec.last_stats``) must opt out.
     cacheable: bool = True
+
+    #: Whether ``repro.obs`` wraps this codec's compress/decompress.
+    #: Internal proxies that would double-count (``_TimingCodec``) opt
+    #: out.
+    instrumented: bool = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # The observability hook: every concrete codec implementation is
+        # wrapped exactly once, at class-creation time, so the pipeline,
+        # the CLI, and tests all see the same instrumented entry points.
+        super().__init_subclass__(**kwargs)
+        if not cls.instrumented:
+            return
+        for op in ("compress", "decompress"):
+            fn = cls.__dict__.get(op)
+            if fn is not None and not getattr(fn, "_obs_instrumented", False):
+                setattr(cls, op, _observe_codec_call(fn, op))
 
     @abc.abstractmethod
     def compress(self, data: bytes) -> bytes:

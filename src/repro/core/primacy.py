@@ -48,6 +48,9 @@ from repro.core.idmap import FrequencyIndex, IdMapper, IndexReusePolicy
 from repro.core.linearize import Linearization, delinearize
 from repro.isobar import IsobarConfig, IsobarPartitioner
 from repro.isobar.bitplane import BitplaneAnalysis, BitplanePartitioner
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+from repro.obs.runtime import STATE as _OBS_STATE
 from repro.util.buffers import as_view
 from repro.util.checksum import adler32
 from repro.util.varint import decode_uvarint, encode_uvarint
@@ -430,10 +433,38 @@ class PrimacyStats:
         return compressed_input / 1e6 / t
 
 
+def _obs_record_chunk(stats: "PrimacyChunkStats") -> None:
+    """Register one compressed chunk's telemetry (obs enabled only).
+
+    Stage wall times re-use the measurements the pipeline takes anyway
+    (``prec_seconds`` / ``codec_seconds``), so tracing adds no second
+    timer to the hot loop.
+    """
+    reg = _obs_metrics.registry()
+    reg.counter("primacy.compress.chunks").inc()
+    reg.counter("primacy.compress.bytes_in").inc(stats.total_in)
+    reg.counter("primacy.compress.bytes_out").inc(stats.total_out)
+    reg.counter("primacy.compress.index_bytes").inc(stats.index_bytes)
+    reg.counter("primacy.compress.precondition_seconds").inc(
+        stats.prec_seconds
+    )
+    reg.counter("primacy.compress.solver_seconds").inc(stats.codec_seconds)
+    if stats.total_out:
+        reg.histogram(
+            "primacy.compress.chunk_ratio",
+            boundaries=_obs_metrics.DEFAULT_RATIO_BUCKETS,
+        ).observe(stats.total_in / stats.total_out)
+    _obs_trace.record_span("primacy.precondition", stats.prec_seconds)
+    _obs_trace.record_span("primacy.solver", stats.codec_seconds)
+
+
 class _TimingCodec(Codec):
     """Proxy that accumulates time spent inside the backend codec."""
 
     name = "timing-proxy"
+    # The inner codec is instrumented already; wrapping the proxy too
+    # would double-count every solver call in the obs registry.
+    instrumented = False
 
     def __init__(self, inner: Codec) -> None:
         self.inner = inner
@@ -630,6 +661,8 @@ class PrimacyCompressor:
             prec_seconds=t_prec,
             codec_seconds=timing_codec.seconds,
         )
+        if _OBS_STATE.enabled:
+            _obs_record_chunk(chunk_stats)
         return bytes(record), chunk_stats, used_index, freq
 
     def _should_reuse(
@@ -714,7 +747,8 @@ class PrimacyCompressor:
         # streams, bit planes) must surface as a typed CorruptionError,
         # not whatever IndexError/struct noise the damage provokes.
         try:
-            return PrimacyCompressor._decode_record(
+            t0 = time.perf_counter() if _OBS_STATE.enabled else 0.0
+            chunk, index = PrimacyCompressor._decode_record(
                 record,
                 mapper,
                 partitioner,
@@ -725,6 +759,14 @@ class PrimacyCompressor:
                 use_checksum,
                 current_index,
             )
+            if _OBS_STATE.enabled:
+                seconds = time.perf_counter() - t0
+                reg = _obs_metrics.registry()
+                reg.counter("primacy.decompress.chunks").inc()
+                reg.counter("primacy.decompress.bytes_in").inc(len(record))
+                reg.counter("primacy.decompress.bytes_out").inc(len(chunk))
+                _obs_trace.record_span("primacy.decompress_chunk", seconds)
+            return chunk, index
         except CodecError:
             raise
         except Exception as exc:

@@ -1,0 +1,100 @@
+"""``repro.obs`` -- zero-dependency observability for the pipeline.
+
+Three pieces (see ``docs/OBSERVABILITY.md`` for the full metric table):
+
+* **Tracing spans** (:mod:`repro.obs.trace`): ``span("precondition")``
+  context manager / ``@traced`` decorator, pid+tid-aware, nestable,
+  monotonic, recorded in memory and optionally streamed to a JSONL
+  trace file.
+* **Metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
+  fixed-bucket histograms in a process-global registry, with picklable
+  snapshots for cross-process aggregation (the parallel engine merges
+  its workers' registries at close).
+* **Reports** (:mod:`repro.obs.report`): text/JSON aggregation consumed
+  by the ``primacy stats`` CLI.
+
+Observability is **off by default** and costs one flag check per
+instrumented call while off.  Turn it on around a workload::
+
+    from repro import obs
+
+    obs.enable()                # or obs.enable(trace_path="run.jsonl")
+    ...                         # compress / decompress / read / write
+    print(obs.report.render_text(obs.report.collect()))
+    obs.disable(); obs.reset()
+
+or set ``REPRO_OBS=1`` (and optionally ``REPRO_OBS_TRACE=<path>``) in
+the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import metrics, report, trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.runtime import STATE
+from repro.obs.trace import (
+    Span,
+    TraceRecorder,
+    record_span,
+    recorder,
+    span,
+    traced,
+)
+
+__all__ = [
+    "STATE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "registry",
+    "recorder",
+    "span",
+    "traced",
+    "record_span",
+    "metrics",
+    "trace",
+    "report",
+]
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return STATE.enabled
+
+
+def enable(trace_path: "str | os.PathLike | None" = None) -> None:
+    """Turn instrumentation on (optionally streaming spans to a file)."""
+    if trace_path is not None:
+        trace.recorder().open_trace(trace_path)
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off and detach any trace file."""
+    STATE.enabled = False
+    trace.recorder().close_trace()
+
+
+def reset() -> None:
+    """Clear recorded metrics and spans (the enabled flag is untouched)."""
+    metrics.reset()
+    trace.recorder().reset()
+
+
+if os.environ.get("REPRO_OBS_TRACE"):  # pragma: no cover - env wiring
+    enable(os.environ["REPRO_OBS_TRACE"])

@@ -1,0 +1,251 @@
+"""Metrics primitives: counters, gauges, histograms, and their registry.
+
+Zero-dependency (stdlib only).  Three instrument kinds cover everything
+the pipeline reports:
+
+* :class:`Counter` -- monotonically increasing totals (bytes in/out,
+  records written, tasks completed).  Accepts float increments so
+  accumulated seconds ride the same type.
+* :class:`Gauge` -- last-value-wins level (queue depth, worker
+  utilization).
+* :class:`Histogram` -- fixed-boundary bucket counts plus sum/count
+  (per-call codec latency, per-chunk compression ratio).
+
+A :class:`MetricsRegistry` keys instruments by ``(name, labels)`` and is
+safe to share across threads.  Cross-*process* aggregation (the parallel
+engine's workers) goes through :meth:`MetricsRegistry.snapshot` on the
+worker side and :meth:`MetricsRegistry.merge` on the owner side --
+snapshots are plain picklable dicts, so they travel over the engine's
+result queue.
+
+The process-global registry (:func:`registry`) is what the
+instrumentation sites write into when observability is enabled; tests
+and the ``primacy stats`` CLI read it back with :meth:`snapshot` and
+clear it with :func:`reset`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
+    "registry",
+    "reset",
+]
+
+#: Default latency boundaries (seconds): 100us .. 30s, roughly 3x apart.
+DEFAULT_SECONDS_BUCKETS = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+)
+
+#: Default compression-ratio boundaries (original/compressed).
+DEFAULT_RATIO_BUCKETS = (0.5, 0.8, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+LabelsKey = tuple[tuple[str, str], ...]
+MetricKey = tuple[str, str, LabelsKey]
+
+
+def _labels_key(labels: dict[str, str]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic total; float-valued so seconds can accumulate too."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """Last-value-wins level."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recently set level."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-friendly bucket counts.
+
+    ``boundaries`` are the inclusive upper edges of the first
+    ``len(boundaries)`` buckets; one overflow bucket catches the rest.
+    """
+
+    __slots__ = ("_lock", "boundaries", "counts", "total", "samples")
+
+    def __init__(self, boundaries: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS):
+        if list(boundaries) != sorted(boundaries) or not boundaries:
+            raise ValueError("histogram boundaries must be sorted, non-empty")
+        self._lock = threading.Lock()
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.counts = [0] * (len(boundaries) + 1)
+        self.total = 0.0
+        self.samples = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample/span/chunk into this accumulator."""
+        # bisect_left keeps the boundaries *inclusive* upper edges: a
+        # sample equal to a boundary lands in that boundary's bucket.
+        idx = bisect_left(self.boundaries, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.total += value
+            self.samples += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observed samples (0.0 when empty)."""
+        if self.samples == 0:
+            return 0.0
+        return self.total / self.samples
+
+
+class MetricsRegistry:
+    """Thread-safe ``(name, labels) -> instrument`` table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[MetricKey, Counter | Gauge | Histogram] = {}
+
+    # -- instrument accessors (create on first use) --------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter registered under ``name`` + ``labels``."""
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge registered under ``name`` + ``labels``."""
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram registered under ``name`` + ``labels``."""
+        key = ("histogram", name, _labels_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(boundaries)
+                self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    def _get(self, kind: str, name: str, labels: dict, cls):
+        key = (kind, name, _labels_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls()
+                self._metrics[key] = metric
+        return metric
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Picklable dump of every instrument (worker -> owner transport).
+
+        Layout::
+
+            {"counters":   [[name, labels, value], ...],
+             "gauges":     [[name, labels, value], ...],
+             "histograms": [[name, labels, boundaries, counts, total,
+                             samples], ...]}
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        out: dict = {"counters": [], "gauges": [], "histograms": []}
+        for (kind, name, labels), metric in items:
+            labeldict = dict(labels)
+            if kind == "counter":
+                out["counters"].append([name, labeldict, metric.value])
+            elif kind == "gauge":
+                out["gauges"].append([name, labeldict, metric.value])
+            else:
+                out["histograms"].append(
+                    [
+                        name,
+                        labeldict,
+                        list(metric.boundaries),
+                        list(metric.counts),
+                        metric.total,
+                        metric.samples,
+                    ]
+                )
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters add, gauges last-write-wins, histograms add
+        bucket-wise (boundaries must match)."""
+        for name, labels, value in snapshot.get("counters", ()):
+            self.counter(name, **labels).inc(value)
+        for name, labels, value in snapshot.get("gauges", ()):
+            self.gauge(name, **labels).set(value)
+        for name, labels, bounds, counts, total, samples in snapshot.get(
+            "histograms", ()
+        ):
+            hist = self.histogram(name, boundaries=tuple(bounds), **labels)
+            if list(hist.boundaries) != list(bounds):
+                raise ValueError(
+                    f"histogram {name!r} boundary mismatch on merge"
+                )
+            with hist._lock:
+                for i, c in enumerate(counts):
+                    hist.counts[i] += c
+                hist.total += total
+                hist.samples += samples
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry the instrumentation writes into."""
+    return _GLOBAL
+
+
+def reset() -> None:
+    """Clear the process-global registry."""
+    _GLOBAL.reset()

@@ -1,0 +1,129 @@
+"""Turn recorded metrics + spans into human/machine reports.
+
+:func:`collect` snapshots the global registry and recorder into one
+plain dict (the ``primacy stats --json`` payload); :func:`render_text`
+pretty-prints it.  Stage timings are aggregated from spans by
+``(name, pid)``-insensitive name so multi-process runs (the parallel
+engine merges worker snapshots at close) read as one table.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = ["collect", "render_text"]
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def collect(
+    registry: "_metrics.MetricsRegistry | None" = None,
+    recorder: "_trace.TraceRecorder | None" = None,
+) -> dict:
+    """Aggregate the registry + recorder into one report dict.
+
+    Layout::
+
+        {"stages":   {name: {"calls": n, "seconds": s}},
+         "counters": {"name{label=v}": value},
+         "gauges":   {"name{label=v}": value},
+         "histograms": {"name{label=v}": {"mean":..., "samples":...,
+                                          "buckets": [[le, count], ...]}}}
+    """
+    registry = registry if registry is not None else _metrics.registry()
+    recorder = recorder if recorder is not None else _trace.recorder()
+    snap = registry.snapshot()
+
+    stages: dict[str, dict] = {}
+    for sp in recorder.spans():
+        agg = stages.setdefault(sp.name, {"calls": 0, "seconds": 0.0})
+        agg["calls"] += 1
+        agg["seconds"] += sp.duration
+
+    counters = {
+        f"{name}{_label_suffix(labels)}": value
+        for name, labels, value in snap["counters"]
+    }
+    gauges = {
+        f"{name}{_label_suffix(labels)}": value
+        for name, labels, value in snap["gauges"]
+    }
+    histograms = {}
+    for name, labels, bounds, counts, total, samples in snap["histograms"]:
+        histograms[f"{name}{_label_suffix(labels)}"] = {
+            "samples": samples,
+            "mean": (total / samples) if samples else 0.0,
+            "total": total,
+            # The overflow bucket's bound is null, not Infinity, so the
+            # report stays strict JSON.
+            "buckets": [[le, c] for le, c in zip([*bounds, None], counts)],
+        }
+    return {
+        "stages": stages,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans_dropped": recorder.dropped,
+    }
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_text(report: dict) -> str:
+    """Aligned text rendering of a :func:`collect` report."""
+    lines: list[str] = []
+    stages = report.get("stages", {})
+    if stages:
+        total = sum(s["seconds"] for s in stages.values()) or 1.0
+        width = max(len(n) for n in stages)
+        lines.append("per-stage wall time")
+        lines.append(
+            f"  {'stage'.ljust(width)}  {'calls':>7s}  {'seconds':>9s}  share"
+        )
+        ordered = sorted(
+            stages.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        )
+        for name, agg in ordered:
+            lines.append(
+                f"  {name.ljust(width)}  {agg['calls']:7d}  "
+                f"{agg['seconds']:9.4f}  {agg['seconds'] / total:5.1%}"
+            )
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(
+                f"  {name.ljust(width)}  {_fmt_value(counters[name])}"
+            )
+    gauges = report.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name.ljust(width)}  {_fmt_value(gauges[name])}")
+    histograms = report.get("histograms", {})
+    if histograms:
+        lines.append("histograms")
+        width = max(len(n) for n in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name.ljust(width)}  n={h['samples']} "
+                f"mean={h['mean']:.6g}"
+            )
+    if report.get("spans_dropped"):
+        lines.append(f"# {report['spans_dropped']} span(s) dropped (cap)")
+    if not lines:
+        lines.append("(no observability data recorded)")
+    return "\n".join(lines)

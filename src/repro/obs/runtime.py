@@ -1,0 +1,35 @@
+"""Global observability switch.
+
+Every instrumentation site in the pipeline guards itself with a single
+attribute read -- ``if STATE.enabled:`` -- so the disabled cost of the
+whole subsystem is one pointer chase per instrumented call.  The flag
+lives here, in a leaf module with no imports from the rest of
+:mod:`repro`, so the hot paths (``repro.compressors.base``,
+``repro.core.primacy``, ...) can import it without cycles.
+
+``REPRO_OBS=1`` in the environment enables observability at import time
+(metrics + in-memory spans); ``REPRO_OBS_TRACE=<path>`` additionally
+streams completed spans to a JSONL trace file.  Programmatic control
+lives in :func:`repro.obs.enable` / :func:`repro.obs.disable`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ObsState", "STATE"]
+
+
+class ObsState:
+    """Mutable process-wide observability switch."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+STATE = ObsState()
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):  # pragma: no cover
+    STATE.enabled = True

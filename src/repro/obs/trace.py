@@ -1,0 +1,285 @@
+"""Lightweight tracing spans.
+
+A *span* is one named, timed region of pipeline work.  Spans are:
+
+* **cheap when disabled** -- :func:`span` returns a shared no-op object
+  after a single flag check, allocating nothing;
+* **thread- and process-aware** -- every span records ``pid`` and
+  ``tid``, and the nesting stack is thread-local;
+* **monotonic** -- durations come from ``time.perf_counter``; the span
+  start is also stamped with the perf-counter clock so spans from one
+  process order correctly;
+* **nestable** -- ``depth``/``parent`` reflect the enclosing span on the
+  same thread;
+* **streamable** -- completed spans land in a bounded in-memory
+  recorder, and optionally as one JSON object per line in a trace file.
+
+Use as a context manager or a decorator::
+
+    with span("precondition", chunk=3):
+        ...
+
+    @traced("storage.read_chunk")
+    def _read_chunk(...): ...
+
+:func:`record_span` registers an *already measured* duration -- for hot
+paths that time themselves anyway (e.g. the PRIMACY per-chunk stage
+timers), so enabling tracing never double-instruments them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import wraps
+
+from repro.obs.runtime import STATE
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "recorder",
+    "span",
+    "traced",
+    "record_span",
+]
+
+#: In-memory span cap; the JSONL file, when configured, gets every span.
+_MAX_SPANS = 65536
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed traced region."""
+
+    name: str
+    pid: int
+    tid: int
+    start: float  # perf_counter stamp at entry
+    duration: float  # seconds
+    depth: int  # nesting level on this thread (0 = top)
+    parent: str | None  # name of the enclosing span, if any
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (one trace-file line)."""
+        out = {
+            "name": self.name,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": self.start,
+            "dur": self.duration,
+            "depth": self.depth,
+        }
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+
+class TraceRecorder:
+    """Bounded in-memory span sink with an optional JSONL tee.
+
+    Fork-safe: the recorder remembers the pid that configured it, and a
+    forked child (the parallel engine's workers inherit the parent's
+    recorder under the ``fork`` start method) transparently drops the
+    inherited buffer and file handle, reopening the trace path in append
+    mode on first use -- two processes must never share one buffered
+    handle.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._dropped = 0
+        self._path: str | None = None
+        self._fh = None
+        self._pid = os.getpid()
+
+    # -- configuration ---------------------------------------------------
+
+    def open_trace(self, path: str | os.PathLike) -> None:
+        """Start streaming completed spans to ``path`` (JSONL, append)."""
+        with self._lock:
+            self._close_fh()
+            self._path = os.fspath(path)
+            self._fh = open(self._path, "a", encoding="utf-8")
+            self._pid = os.getpid()
+
+    def close_trace(self) -> None:
+        """Stop streaming to the trace file (in-memory recording stays)."""
+        with self._lock:
+            self._close_fh()
+            self._path = None
+
+    def _close_fh(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - flush on shutdown
+                pass
+            self._fh = None
+
+    def _after_fork(self) -> None:
+        """Drop inherited state; reopen the trace path for this process."""
+        self._spans = []
+        self._dropped = 0
+        self._fh = None  # the parent's handle: not ours to close
+        self._pid = os.getpid()
+        if self._path is not None:
+            try:
+                self._fh = open(self._path, "a", encoding="utf-8")
+            except OSError:  # pragma: no cover - trace dir gone in child
+                self._path = None
+
+    # -- recording -------------------------------------------------------
+
+    def add(self, sp: Span) -> None:
+        """Record one sample/span/chunk into this accumulator."""
+        with self._lock:
+            if self._pid != os.getpid():
+                self._after_fork()
+            if len(self._spans) < _MAX_SPANS:
+                self._spans.append(sp)
+            else:
+                self._dropped += 1
+            if self._fh is not None:
+                self._fh.write(json.dumps(sp.as_dict()) + "\n")
+                self._fh.flush()
+
+    # -- introspection ---------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Completed spans recorded in this process (insertion order)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after the in-memory cap filled."""
+        return self._dropped
+
+    def reset(self) -> None:
+        """Forget recorded spans (the trace file is left as-is)."""
+        with self._lock:
+            self._spans = []
+            self._dropped = 0
+
+
+_RECORDER = TraceRecorder()
+_STACK = threading.local()
+
+
+def recorder() -> TraceRecorder:
+    """The process-global span recorder."""
+    return _RECORDER
+
+
+def _stack() -> list[str]:
+    st = getattr(_STACK, "names", None)
+    if st is None:
+        st = _STACK.names = []
+    return st
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager that times a region and records it on exit."""
+
+    __slots__ = ("name", "meta", "_t0", "_depth")
+
+    def __init__(self, name: str, meta: dict) -> None:
+        self.name = name
+        self.meta = meta
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = _stack()
+        self._depth = len(stack)
+        stack.append(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        duration = time.perf_counter() - self._t0
+        stack = _stack()
+        stack.pop()
+        _RECORDER.add(
+            Span(
+                name=self.name,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                start=self._t0,
+                duration=duration,
+                depth=self._depth,
+                parent=stack[-1] if stack else None,
+                meta=self.meta,
+            )
+        )
+
+
+def span(name: str, **meta) -> _LiveSpan | _NullSpan:
+    """Open a traced region; no-op (and allocation-free) when disabled."""
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(name, meta)
+
+
+def traced(name: str | None = None):
+    """Decorator form of :func:`span`; defaults to the function name."""
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            with span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def record_span(name: str, seconds: float, **meta) -> None:
+    """Register an externally timed region as a completed span.
+
+    For code that already measures itself (the PRIMACY chunk stage
+    timers, the engine's per-task worker timings): the measured duration
+    is recorded as a zero-nesting span ending *now*, without running a
+    second timer over the region.
+    """
+    if not STATE.enabled:
+        return
+    stack = _stack()
+    _RECORDER.add(
+        Span(
+            name=name,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            start=time.perf_counter() - seconds,
+            duration=seconds,
+            depth=len(stack),
+            parent=stack[-1] if stack else None,
+            meta=meta,
+        )
+    )

@@ -25,7 +25,13 @@ replaces them:
 
 :class:`PoolStats` accounts for every byte moved and every second spent
 per stage (publish, queue wait, worker compute, drain), feeding
-``benchmarks/bench_parallel_engine.py``.
+``benchmarks/bench_parallel_engine.py``.  Its counters live in a
+per-engine :class:`repro.obs.MetricsRegistry` (:attr:`ParallelEngine.
+metrics`); results drained during :meth:`ParallelEngine.close` are
+accounted rather than discarded, workers ship their own metric
+snapshots (codec/primacy counters incremented in worker processes) back
+on exit, and -- when :mod:`repro.obs` is enabled -- the merged registry
+folds into the process-global one at close.
 """
 
 from __future__ import annotations
@@ -37,13 +43,15 @@ import time
 import traceback
 import warnings
 from collections import deque
-from dataclasses import dataclass, field
 from multiprocessing import get_context, resource_tracker
 from multiprocessing.shared_memory import SharedMemory
 
 from repro.compressors.base import CodecError
 from repro.core.primacy import PrimacyCompressor, PrimacyConfig
 from repro.lint import sanitize
+from repro.obs import metrics as _obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import STATE as _OBS_STATE
 from repro.util.buffers import as_view
 
 __all__ = [
@@ -95,29 +103,89 @@ def _raise_task_error(payload):
     raise EngineError(f"parallel worker failed:\n{tb}")
 
 
-@dataclass
 class PoolStats:
     """Byte- and time-accounting across one engine lifetime.
 
     ``submit_seconds`` is parent wall time publishing buffers (the
     shared-memory copy plus enqueue); ``queue_wait_seconds`` is the sum
     of task latencies between enqueue and worker pickup;
-    ``worker_seconds`` is in-worker compute; ``drain_seconds`` is parent
-    wall time blocked waiting for results.
+    ``worker_seconds`` is in-worker compute (failed tasks included);
+    ``drain_seconds`` is parent wall time blocked waiting for results;
+    ``completed`` counts tasks whose results were produced -- popped or
+    not, so results drained at :meth:`ParallelEngine.close` still count.
+
+    The counters are stored in a :class:`repro.obs.MetricsRegistry`
+    under ``engine.*`` names; this class is the typed facade over it.
     """
 
-    workers: int = 0
-    tasks: int = 0
-    inline_tasks: int = 0
-    shm_bytes: int = 0
-    pickled_bytes: int = 0
-    result_bytes: int = 0
-    submit_seconds: float = 0.0
-    queue_wait_seconds: float = 0.0
-    worker_seconds: float = 0.0
-    drain_seconds: float = 0.0
-    started_at: float | None = None
-    stopped_at: float | None = None
+    def __init__(
+        self, workers: int = 0, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.workers = workers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Record one sample/span/chunk into this accumulator."""
+        self.registry.counter(f"engine.{name}").inc(amount)
+
+    def _value(self, name: str) -> float:
+        return self.registry.counter(f"engine.{name}").value
+
+    # -- counter facade -------------------------------------------------
+
+    @property
+    def tasks(self) -> int:
+        """Tasks submitted (pool and inline)."""
+        return int(self._value("tasks"))
+
+    @property
+    def inline_tasks(self) -> int:
+        """Tasks executed in the parent (fallback or ``run_inline``)."""
+        return int(self._value("inline_tasks"))
+
+    @property
+    def completed(self) -> int:
+        """Tasks whose results were produced and accounted."""
+        return int(self._value("completed"))
+
+    @property
+    def shm_bytes(self) -> int:
+        """Payload bytes published through shared-memory segments."""
+        return int(self._value("shm_bytes"))
+
+    @property
+    def pickled_bytes(self) -> int:
+        """Payload bytes pickled through the task queue."""
+        return int(self._value("pickled_bytes"))
+
+    @property
+    def result_bytes(self) -> int:
+        """Bytes returned by completed tasks."""
+        return int(self._value("result_bytes"))
+
+    @property
+    def submit_seconds(self) -> float:
+        """Parent wall time spent publishing buffers."""
+        return self._value("submit_seconds")
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Summed enqueue-to-pickup latency across tasks."""
+        return self._value("queue_wait_seconds")
+
+    @property
+    def worker_seconds(self) -> float:
+        """Summed in-worker compute time."""
+        return self._value("worker_seconds")
+
+    @property
+    def drain_seconds(self) -> float:
+        """Parent wall time blocked waiting for results."""
+        return self._value("drain_seconds")
+
+    # -- derived --------------------------------------------------------
 
     def busy_fraction(self) -> float:
         """Worker compute time over total worker wall capacity."""
@@ -133,6 +201,7 @@ class PoolStats:
             "workers": self.workers,
             "tasks": self.tasks,
             "inline_tasks": self.inline_tasks,
+            "completed": self.completed,
             "shm_bytes": self.shm_bytes,
             "pickled_bytes": self.pickled_bytes,
             "result_bytes": self.result_bytes,
@@ -167,12 +236,23 @@ def _execute(
     raise ValueError(f"unknown task kind {kind!r}")
 
 
-def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
+#: Result-queue tag for a worker's exit-time metrics snapshot.
+_OBS_SNAPSHOT = "obs-metrics"
+
+
+def _worker_main(
+    default_config, task_q, result_q, untrack: bool, obs_enabled: bool
+) -> None:
     """Worker loop: pull descriptors, execute, push results.
 
     Runs until a ``None`` sentinel arrives.  Exceptions are caught and
     shipped back as tracebacks -- a malformed chunk must not kill the
-    pool.
+    pool.  With observability on (``obs_enabled`` mirrors the parent's
+    flag at pool start; under ``fork`` the flag is inherited anyway),
+    the worker's metric registry -- codec and primacy counters
+    incremented *in this process* -- is shipped back as a final
+    ``(_OBS_SNAPSHOT, pid, snapshot)`` message so the parent can
+    aggregate cross-process totals at engine close.
 
     ``untrack`` handles bpo-39959: attaching registers the segment with
     the resource tracker even though the parent owns it.  Under ``fork``
@@ -182,6 +262,11 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
     *own* tracker that would try to destroy the parent's segments at
     exit, so there we must unregister after every attach.
     """
+    if obs_enabled:
+        _OBS_STATE.enabled = True
+        # Totals from the parent (inherited under fork) must not be
+        # double-counted when this worker's snapshot merges back.
+        _obs_metrics.registry().reset()
     compressors: list = []
     led = sanitize.ledger() if sanitize.enabled() else None
     while True:
@@ -191,6 +276,7 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
         task_id, kind, config, shm_name, offset, length, payload, t_submit = item
         t_start = time.monotonic()
         queue_wait = max(t_start - t_submit, 0.0)
+        t_work = t_start
         try:
             if shm_name is not None:
                 shm = SharedMemory(name=shm_name)
@@ -233,8 +319,19 @@ def _worker_main(default_config, task_q, result_q, untrack: bool) -> None:
         # _raise_task_error re-raises typed CodecErrors intact.
         except Exception as exc:  # primacy-lint: disable=PL001 -- shipped to parent, typed errors preserved
             result_q.put(
-                (task_id, False, _ship_error(exc), queue_wait, 0.0, 0)
+                (
+                    task_id,
+                    False,
+                    _ship_error(exc),
+                    queue_wait,
+                    time.monotonic() - t_work,
+                    0,
+                )
             )
+    if obs_enabled:
+        result_q.put(
+            (_OBS_SNAPSHOT, os.getpid(), _obs_metrics.registry().snapshot())
+        )
     if led is not None:
         led.report("worker exit")
 
@@ -275,7 +372,8 @@ class ParallelEngine:
         )
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
-        self.stats = PoolStats(workers=self.workers)
+        self.metrics = MetricsRegistry()
+        self.stats = PoolStats(workers=self.workers, registry=self.metrics)
         self._ctx = get_context()
         self._procs: list = []
         self._task_q = None
@@ -319,7 +417,13 @@ class ParallelEngine:
             for _ in range(self.workers):
                 proc = self._ctx.Process(
                     target=_worker_main,
-                    args=(self.config, self._task_q, self._result_q, untrack),
+                    args=(
+                        self.config,
+                        self._task_q,
+                        self._result_q,
+                        untrack,
+                        _OBS_STATE.enabled,
+                    ),
                     daemon=True,
                 )
                 proc.start()
@@ -353,19 +457,24 @@ class ParallelEngine:
         self._free_shm = {}
         self._all_shm = []
         self._local_compressors = []
-        self.stats = PoolStats(workers=self.workers)
+        self.metrics = MetricsRegistry()
+        self.stats = PoolStats(workers=self.workers, registry=self.metrics)
         self._inline_fallback = self.workers == 1
 
     def close(self) -> None:
         """Stop workers and release every shared-memory segment.
 
         Safe to call with tasks still in flight (their results are
-        discarded) and safe to call twice.  Asserts no segment leaks:
-        every segment this engine created is closed *and* unlinked.
+        accounted, stashed, and dropped with the engine) and safe to
+        call twice.  Asserts no segment leaks: every segment this
+        engine created is closed *and* unlinked.  With :mod:`repro.obs`
+        enabled, the engine's registry (including worker snapshots) is
+        folded into the process-global one here.
         """
         if self._pid is not None and self._pid != os.getpid():
             self._reset_after_fork()
             return
+        was_started = bool(self._procs)
         self._halt_procs()
         for shm in self._all_shm:
             try:
@@ -382,6 +491,13 @@ class ParallelEngine:
         self._done = {}
         if self.stats.started_at is not None and self.stats.stopped_at is None:
             self.stats.stopped_at = time.monotonic()
+        if _OBS_STATE.enabled and (was_started or self.stats.tasks):
+            self.metrics.gauge("engine.busy_fraction").set(
+                self.stats.busy_fraction()
+            )
+            self.metrics.gauge("engine.workers").set(float(self.workers))
+            _obs_metrics.registry().merge(self.metrics.snapshot())
+            self.metrics.reset()
         if self._ledger is not None:
             self._ledger.report("ParallelEngine.close", owner=id(self))
 
@@ -395,11 +511,14 @@ class ParallelEngine:
                     pass
         # Drain results while workers wind down so no feeder thread can
         # block a worker on a full pipe (that would deadlock join).
+        # Drained results are *accounted* (queue wait, compute seconds,
+        # result bytes, worker metric snapshots), not discarded -- stats
+        # at close must describe every task the pool actually ran.
         deadline = time.monotonic() + _JOIN_TIMEOUT
         while any(p.is_alive() for p in procs):
             if self._result_q is not None:
                 try:
-                    self._result_q.get(timeout=0.05)
+                    self._absorb(self._result_q.get(timeout=0.05))
                 except (queue_mod.Empty, OSError, ValueError):
                     pass
             if time.monotonic() > deadline:
@@ -409,6 +528,13 @@ class ParallelEngine:
                 break
         for p in procs:
             p.join(timeout=_JOIN_TIMEOUT)
+        if self._result_q is not None:
+            # Workers are gone; anything still buffered is final.
+            while True:
+                try:
+                    self._absorb(self._result_q.get_nowait())
+                except (queue_mod.Empty, OSError, ValueError):
+                    break
         for q in (self._task_q, self._result_q):
             if q is not None:
                 q.close()
@@ -457,8 +583,9 @@ class ParallelEngine:
         """Execute one task synchronously in the calling process."""
         comp = _compressor_for(self._local_compressors, config or self.config)
         result, _ = _execute(comp, kind, as_view(data))
-        self.stats.tasks += 1
-        self.stats.inline_tasks += 1
+        self.stats.inc("tasks")
+        self.stats.inc("inline_tasks")
+        self.stats.inc("completed")
         return result
 
     def submit(self, kind: str, data, config: PrimacyConfig | None = None) -> int:
@@ -486,10 +613,11 @@ class ParallelEngine:
             # worker had shipped it back.
             except Exception as exc:  # primacy-lint: disable=PL001 -- stashed for pop(), typed errors preserved
                 self._done[task_id] = (False, _ship_error(exc))
-            self.stats.tasks += 1
-            self.stats.inline_tasks += 1
-            self.stats.pickled_bytes += len(view)
-            self.stats.submit_seconds += time.monotonic() - t0
+            self.stats.inc("tasks")
+            self.stats.inc("inline_tasks")
+            self.stats.inc("completed")
+            self.stats.inc("pickled_bytes", len(view))
+            self.stats.inc("submit_seconds", time.monotonic() - t0)
             return task_id
 
         cfg = None if (config is None or config == self.config) else config
@@ -504,16 +632,16 @@ class ParallelEngine:
                     buf[: len(view)] = view
             self._task_shm[task_id] = shm
             descriptor = (task_id, kind, cfg, shm.name, 0, len(view), None, t0)
-            self.stats.shm_bytes += len(view)
+            self.stats.inc("shm_bytes", len(view))
         else:
             descriptor = (
                 task_id, kind, cfg, None, 0, len(view), bytes(view), t0,
             )
-            self.stats.pickled_bytes += len(view)
+            self.stats.inc("pickled_bytes", len(view))
         self._task_q.put(descriptor)
         self._pending.add(task_id)
-        self.stats.tasks += 1
-        self.stats.submit_seconds += time.monotonic() - t0
+        self.stats.inc("tasks")
+        self.stats.inc("submit_seconds", time.monotonic() - t0)
         return task_id
 
     def pop(self, task_id: int):
@@ -530,11 +658,26 @@ class ParallelEngine:
                     raise EngineError(f"task {task_id} was never submitted")
                 self._collect_one()
         finally:
-            self.stats.drain_seconds += time.monotonic() - t0
+            self.stats.inc("drain_seconds", time.monotonic() - t0)
         ok, payload = self._done.pop(task_id)
         if not ok:
             _raise_task_error(payload)
         return payload
+
+    def _absorb(self, item) -> None:
+        """Account one result-queue item (task result or obs snapshot)."""
+        if item[0] == _OBS_SNAPSHOT:
+            _tag, _pid, snap = item
+            self.metrics.merge(snap)
+            return
+        task_id, ok, payload, queue_wait, worker_seconds, out_bytes = item
+        self._pending.discard(task_id)
+        self._release_segment(task_id)
+        self.stats.inc("completed")
+        self.stats.inc("queue_wait_seconds", queue_wait)
+        self.stats.inc("worker_seconds", worker_seconds)
+        self.stats.inc("result_bytes", out_bytes)
+        self._done[task_id] = (ok, payload)
 
     def _collect_one(self) -> None:
         while True:
@@ -548,13 +691,7 @@ class ParallelEngine:
                         f"{len(dead)} parallel worker(s) died with "
                         f"{len(self._pending)} task(s) outstanding"
                     ) from None
-        task_id, ok, payload, queue_wait, worker_seconds, out_bytes = item
-        self._pending.discard(task_id)
-        self._release_segment(task_id)
-        self.stats.queue_wait_seconds += queue_wait
-        self.stats.worker_seconds += worker_seconds
-        self.stats.result_bytes += out_bytes
-        self._done[task_id] = (ok, payload)
+        self._absorb(item)
 
     def map_ordered(self, kind: str, buffers, config: PrimacyConfig | None = None):
         """Yield results for ``buffers`` in order, windowed by ``max_pending``.

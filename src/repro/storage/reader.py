@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import io
 import os
+import time
 from bisect import bisect_right
 from pathlib import Path
 
@@ -30,6 +31,9 @@ from repro.core.primacy import (
     PrimacyCompressor,
     chunk_record_index_section,
 )
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+from repro.obs.runtime import STATE as _OBS_STATE
 from repro.storage.format import (
     TRAILER_BYTES,
     ChunkEntry,
@@ -269,6 +273,7 @@ class PrimacyFileReader:
             raise
 
     def _read_chunk(self, chunk_id: int) -> bytes:
+        t0 = time.perf_counter() if _OBS_STATE.enabled else 0.0
         record = self._record(chunk_id)
         current = self._index_for(chunk_id)
         try:
@@ -278,6 +283,14 @@ class PrimacyFileReader:
         except CodecError as exc:
             self._tag(exc, chunk_id)
             raise
+        if _OBS_STATE.enabled:
+            reg = _obs_metrics.registry()
+            reg.counter("storage.read.chunks").inc()
+            reg.counter("storage.read.bytes_compressed").inc(len(record))
+            reg.counter("storage.read.bytes").inc(len(chunk))
+            _obs_trace.record_span(
+                "storage.read_chunk", time.perf_counter() - t0
+            )
         entry = self.info.chunks[chunk_id]
         if len(chunk) != entry.n_values * self.info.config.word_bytes:
             raise CorruptionError(

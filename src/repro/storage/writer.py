@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io
 import os
+import time
 from collections import deque
 from pathlib import Path
 
@@ -31,6 +32,9 @@ from repro.core.primacy import (
     PrimacyConfig,
     PrimacyStats,
 )
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+from repro.obs.runtime import STATE as _OBS_STATE
 from repro.storage.format import (
     ChunkEntry,
     encode_footer,
@@ -209,6 +213,19 @@ class PrimacyFileWriter:
             self._write_record(record, chunk_stats)
 
     def _write_record(self, record: bytes, chunk_stats) -> None:
+        if _OBS_STATE.enabled:
+            t0 = time.perf_counter()
+            self._write_record_inner(record, chunk_stats)
+            seconds = time.perf_counter() - t0
+            reg = _obs_metrics.registry()
+            reg.counter("storage.write.records").inc()
+            reg.counter("storage.write.bytes").inc(len(record))
+            reg.gauge("storage.write.inflight").set(float(len(self._inflight)))
+            _obs_trace.record_span("storage.write_record", seconds)
+            return
+        self._write_record_inner(record, chunk_stats)
+
+    def _write_record_inner(self, record: bytes, chunk_stats) -> None:
         self.stats.add(chunk_stats)
         chunk_id = len(self._chunks)
         if not chunk_stats.index_reused:

@@ -1,0 +1,81 @@
+"""Generator for the pinned golden-corpus artifacts.
+
+Run ``python tests/golden/make_golden.py`` (with ``src`` on the path)
+to regenerate everything under ``tests/golden/data/``.  Regeneration is
+only legitimate alongside a *deliberate, documented* format change --
+the committed artifacts are the compatibility contract older files hold
+against today's decoder.
+
+Everything here is deterministic: fixed seeds, fixed configs, pure-
+Python codecs.  The CORRELATED index policy is chosen to pin the
+trickiest decode path (index-reuse chains with extensions).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import IndexReusePolicy, PrimacyConfig
+
+DATA_DIR = Path(__file__).parent / "data"
+PRIF_PATH = DATA_DIR / "golden.prif"
+PRCK_PATH = DATA_DIR / "golden.prck"
+PAYLOAD_PATH = DATA_DIR / "golden_payload.bin"
+
+#: Seed honoring the paper's publication year.
+SEED = 2012
+
+PRIF_CONFIG = PrimacyConfig(
+    chunk_bytes=4096,
+    index_policy=IndexReusePolicy.CORRELATED,
+)
+PRCK_CONFIG = PrimacyConfig(chunk_bytes=4096)
+
+
+def payload_bytes() -> bytes:
+    """4096 float64 values: a smooth field with a regime change."""
+    rng = np.random.default_rng(SEED)
+    smooth = np.cumsum(rng.normal(0.0, 0.01, 3072)) + 300.0
+    rough = rng.normal(0.0, 1e6, 1024)
+    return np.concatenate([smooth, rough]).astype("<f8").tobytes()
+
+
+def checkpoint_arrays() -> dict[int, dict[str, np.ndarray]]:
+    """Two steps, mixed dtypes (exercises the word-width override)."""
+    rng = np.random.default_rng(SEED + 1)
+    temp0 = np.cumsum(rng.normal(size=1024)).reshape(16, 64)
+    vel0 = rng.normal(size=512).astype("<f4").reshape(8, 8, 8)
+    return {
+        0: {"temp": temp0, "vel": vel0},
+        1: {"temp": temp0 + 0.5, "vel": (vel0 * 2.0).astype("<f4")},
+    }
+
+
+def build_prif(path: Path) -> None:
+    from repro.storage import PrimacyFileWriter
+
+    with PrimacyFileWriter(path, PRIF_CONFIG, durable=False) as writer:
+        writer.write(payload_bytes())
+
+
+def build_prck(path: Path) -> None:
+    from repro.checkpoint import CheckpointWriter
+
+    with CheckpointWriter(path, PRCK_CONFIG, durable=False) as writer:
+        for step, variables in sorted(checkpoint_arrays().items()):
+            writer.write_step(step, variables)
+
+
+def main() -> None:
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    PAYLOAD_PATH.write_bytes(payload_bytes())
+    build_prif(PRIF_PATH)
+    build_prck(PRCK_PATH)
+    for p in (PAYLOAD_PATH, PRIF_PATH, PRCK_PATH):
+        print(f"wrote {p} ({p.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Format stability against the pinned golden corpus.
+
+The artifacts under ``data/`` were produced by
+:mod:`tests.golden.make_golden` and committed.  Today's decoder must
+read them byte-exactly -- forever.  A failure here means a format break:
+either revert it, or version the format and regenerate the corpus as
+part of a deliberate migration.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from tests.golden import make_golden as gold
+
+
+@pytest.fixture(scope="module")
+def payload() -> bytes:
+    return gold.PAYLOAD_PATH.read_bytes()
+
+
+class TestPrifGolden:
+    def test_decodes_byte_exactly(self, payload):
+        from repro.storage import PrimacyFileReader
+
+        with PrimacyFileReader(gold.PRIF_PATH) as reader:
+            assert reader.read_all() == payload
+
+    def test_pins_the_reuse_chain_path(self):
+        from repro.storage import PrimacyFileReader
+
+        with PrimacyFileReader(gold.PRIF_PATH) as reader:
+            entries = reader.chunk_entries()
+            assert len(entries) > 1
+            # The corpus must keep exercising index-reuse chains; a
+            # regenerated corpus that lost them would weaken this test.
+            assert any(not e.inline_index for e in entries)
+            assert entries[0].inline_index
+
+    def test_random_access_matches(self, payload):
+        from repro.storage import PrimacyFileReader
+
+        with PrimacyFileReader(gold.PRIF_PATH) as reader:
+            got = reader.read_values(1000, 300)
+        assert got == payload[8 * 1000 : 8 * 1300]
+
+    def test_reencode_is_byte_identical(self, payload):
+        """The encoder is deterministic: same input, same config, same
+        bytes.  Catches accidental format drift on the write side."""
+        from repro.storage import PrimacyFileWriter
+
+        buf = io.BytesIO()
+        with PrimacyFileWriter(buf, gold.PRIF_CONFIG) as writer:
+            writer.write(payload)
+        assert buf.getvalue() == gold.PRIF_PATH.read_bytes()
+
+    def test_fsck_accepts_the_corpus(self):
+        from repro.storage.verify import fsck
+
+        assert fsck(gold.PRIF_PATH).ok
+
+
+class TestPrckGolden:
+    def test_every_variable_decodes_exactly(self):
+        from repro.checkpoint import CheckpointReader
+
+        expected = gold.checkpoint_arrays()
+        with CheckpointReader(gold.PRCK_PATH) as reader:
+            assert reader.steps() == sorted(expected)
+            for step, variables in expected.items():
+                assert reader.variables(step) == sorted(variables)
+                for name, arr in variables.items():
+                    got = reader.read(step, name)
+                    assert got.dtype == arr.dtype
+                    assert got.shape == arr.shape
+                    np.testing.assert_array_equal(got, arr)
+
+    def test_reencode_is_byte_identical(self, tmp_path):
+        out = tmp_path / "re.prck"
+        gold.build_prck(out)
+        assert out.read_bytes() == gold.PRCK_PATH.read_bytes()
+
+    def test_fsck_accepts_the_corpus(self):
+        from repro.storage.verify import fsck
+
+        assert fsck(gold.PRCK_PATH).ok

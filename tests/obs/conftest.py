@@ -1,0 +1,16 @@
+"""Every obs test leaves the global instrumentation state clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,130 @@
+"""Cross-process metric aggregation and PoolStats accounting accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compressors.base import CodecError
+from repro.core.primacy import PrimacyConfig
+from repro.parallel.engine import KIND_COMPRESS, KIND_DECOMPRESS, ParallelEngine
+
+
+@pytest.fixture(scope="module")
+def payload() -> bytes:
+    rng = np.random.default_rng(21)
+    return np.cumsum(rng.normal(size=24 * 1024)).astype("<f8").tobytes()
+
+
+def _chunks(payload: bytes, size: int = 16 * 1024) -> list[bytes]:
+    return [payload[i : i + size] for i in range(0, len(payload), size)]
+
+
+CFG = PrimacyConfig(chunk_bytes=16 * 1024)
+
+
+class TestWorkerSnapshotMerge:
+    def test_worker_codec_counters_reach_global_registry(self, payload):
+        obs.enable()
+        with ParallelEngine(CFG, workers=2) as engine:
+            results = list(
+                engine.map_ordered(KIND_COMPRESS, _chunks(payload), CFG)
+            )
+        assert len(results) == len(_chunks(payload))
+        counters = obs.report.collect()["counters"]
+        # The codec runs only inside worker processes here, so these
+        # totals can only exist if worker snapshots merged back.
+        assert counters["codec.compress.calls{codec=pyzlib}"] == len(results)
+        assert counters["primacy.compress.chunks"] == len(results)
+        assert counters["engine.tasks"] == len(results)
+        assert counters["engine.completed"] == len(results)
+        gauges = obs.report.collect()["gauges"]
+        assert 0.0 <= gauges["engine.busy_fraction"] <= 1.0
+        assert gauges["engine.workers"] == 2.0
+
+    def test_disabled_engine_run_records_nothing(self, payload):
+        with ParallelEngine(CFG, workers=2) as engine:
+            list(engine.map_ordered(KIND_COMPRESS, _chunks(payload), CFG))
+        assert len(obs.registry()) == 0
+        assert obs.recorder().spans() == []
+
+
+class TestPoolStatsAccuracy:
+    def test_unpopped_results_are_accounted_at_close(self, payload):
+        """Results drained during close used to vanish from the stats."""
+        engine = ParallelEngine(CFG, workers=2)
+        try:
+            ids = [
+                engine.submit(KIND_COMPRESS, chunk, CFG)
+                for chunk in _chunks(payload)
+            ]
+            # Pop only the first result; the rest complete unobserved.
+            engine.pop(ids[0])
+        finally:
+            engine.close()
+        stats = engine.stats
+        assert stats.tasks == len(ids)
+        assert stats.completed == len(ids)
+        assert stats.result_bytes > 0
+        assert stats.worker_seconds > 0.0
+
+    def test_completed_matches_tasks_for_popped_stream(self, payload):
+        with ParallelEngine(CFG, workers=2) as engine:
+            n = len(list(
+                engine.map_ordered(KIND_COMPRESS, _chunks(payload), CFG)
+            ))
+            stats = engine.stats
+            assert stats.tasks == n
+            assert stats.completed == n
+
+    def test_failed_tasks_ship_real_compute_seconds(self):
+        """A worker failure used to report 0.0 seconds of compute."""
+        garbage = bytes(bytearray(range(256)) * 256)
+        engine = ParallelEngine(CFG, workers=2)
+        try:
+            task = engine.submit(KIND_DECOMPRESS, garbage, CFG)
+            with pytest.raises(CodecError):
+                engine.pop(task)
+            assert engine.stats.worker_seconds > 0.0
+            assert engine.stats.completed == 1
+        finally:
+            engine.close()
+
+    def test_inline_fallback_counts_completed(self, payload):
+        engine = ParallelEngine(CFG, workers=1)
+        try:
+            chunk = _chunks(payload)[0]
+            engine.run_inline(KIND_COMPRESS, chunk, CFG)
+            task = engine.submit(KIND_COMPRESS, chunk, CFG)
+            engine.pop(task)
+            assert engine.stats.tasks == 2
+            assert engine.stats.inline_tasks == 2
+            assert engine.stats.completed == 2
+        finally:
+            engine.close()
+
+    def test_summary_includes_completed(self, payload):
+        with ParallelEngine(CFG, workers=2) as engine:
+            list(engine.map_ordered(KIND_COMPRESS, _chunks(payload), CFG))
+            summary = engine.stats.summary()
+        assert summary["completed"] == summary["tasks"]
+        assert set(summary) >= {
+            "workers", "tasks", "inline_tasks", "completed", "shm_bytes",
+            "pickled_bytes", "result_bytes", "submit_seconds",
+            "queue_wait_seconds", "worker_seconds", "drain_seconds",
+            "busy_fraction",
+        }
+
+    def test_obs_enabled_close_folds_and_resets_engine_registry(self, payload):
+        obs.enable()
+        engine = ParallelEngine(CFG, workers=2)
+        list(engine.map_ordered(KIND_COMPRESS, _chunks(payload), CFG))
+        engine.close()
+        # Folded into the global registry exactly once...
+        before = obs.report.collect()["counters"]["engine.tasks"]
+        engine.close()  # idempotent: no double-merge
+        after = obs.report.collect()["counters"]["engine.tasks"]
+        assert before == after
+        # ...and the per-engine registry starts fresh.
+        assert engine.stats.tasks == 0

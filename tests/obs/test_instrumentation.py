@@ -1,0 +1,187 @@
+"""End-to-end instrumentation: hot paths populate the registry/recorder,
+and leave both untouched when observability is off (the deterministic
+face of the "near-zero cost when disabled" requirement)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compressors import get_codec
+from repro.compressors.base import Codec
+from repro.core.primacy import PrimacyCompressor, PrimacyConfig
+from repro.storage import PrimacyFileReader, PrimacyFileWriter
+
+
+def _counters() -> dict[str, float]:
+    return obs.report.collect()["counters"]
+
+
+class TestCodecHook:
+    def test_disabled_records_nothing(self, smooth_doubles):
+        codec = get_codec("pyzlib")
+        codec.decompress(codec.compress(smooth_doubles))
+        assert len(obs.registry()) == 0
+        assert obs.recorder().spans() == []
+
+    def test_enabled_counts_bytes_and_calls(self, smooth_doubles):
+        obs.enable()
+        codec = get_codec("pyzlib")
+        out = codec.compress(smooth_doubles)
+        assert codec.decompress(out) == smooth_doubles
+        c = _counters()
+        assert c["codec.compress.calls{codec=pyzlib}"] == 1
+        assert c["codec.compress.bytes_in{codec=pyzlib}"] == len(smooth_doubles)
+        assert c["codec.compress.bytes_out{codec=pyzlib}"] == len(out)
+        assert c["codec.decompress.bytes_out{codec=pyzlib}"] == len(
+            smooth_doubles
+        )
+        names = [sp.name for sp in obs.recorder().spans()]
+        assert names == ["codec.compress", "codec.decompress"]
+
+    def test_every_registered_codec_is_instrumented(self):
+        from repro.compressors import available_codecs
+
+        for name in available_codecs():
+            codec = get_codec(name)
+            for op in ("compress", "decompress"):
+                fn = getattr(type(codec), op)
+                assert getattr(fn, "_obs_instrumented", False), (
+                    f"{name}.{op} lost the observability hook"
+                )
+                assert hasattr(fn, "__wrapped__")
+
+    def test_instrumented_false_opts_out(self):
+        class Bare(Codec):
+            name = "bare-test"
+            instrumented = False
+
+            def compress(self, data: bytes) -> bytes:
+                return data
+
+            def decompress(self, data: bytes) -> bytes:
+                return data
+
+        assert not hasattr(Bare.compress, "__wrapped__")
+        obs.enable()
+        Bare().compress(b"xyz")
+        assert len(obs.registry()) == 0
+
+    def test_timing_codec_not_double_counted(self, smooth_doubles):
+        obs.enable()
+        PrimacyCompressor(PrimacyConfig(chunk_bytes=1 << 20)).compress(
+            smooth_doubles
+        )
+        c = _counters()
+        # One chunk -> the solver runs twice (high-order ID stream +
+        # ISOBAR-compressible low bytes).  If the internal _TimingCodec
+        # proxy were instrumented too, every call would count double.
+        assert c["codec.compress.calls{codec=pyzlib}"] == 2
+        assert "codec.compress.calls{codec=timing-proxy}" not in c
+
+
+class TestPrimacyCounters:
+    def test_compress_side(self, smooth_doubles):
+        obs.enable()
+        comp = PrimacyCompressor(PrimacyConfig(chunk_bytes=32 * 1024))
+        out, stats = comp.compress(smooth_doubles)
+        c = _counters()
+        assert c["primacy.compress.chunks"] == len(stats.chunks)
+        assert c["primacy.compress.bytes_in"] == len(smooth_doubles)
+        assert c["primacy.compress.bytes_out"] == sum(
+            ch.total_out for ch in stats.chunks
+        )
+        hist = obs.report.collect()["histograms"]["primacy.compress.chunk_ratio"]
+        assert hist["samples"] == len(stats.chunks)
+        names = {sp.name for sp in obs.recorder().spans()}
+        assert {"primacy.precondition", "primacy.solver"} <= names
+
+    def test_decompress_side(self, smooth_doubles):
+        comp = PrimacyCompressor(PrimacyConfig(chunk_bytes=32 * 1024))
+        out, _ = comp.compress(smooth_doubles)
+        obs.enable()
+        assert comp.decompress(out) == smooth_doubles
+        c = _counters()
+        assert c["primacy.decompress.chunks"] >= 1
+        assert c["primacy.decompress.bytes_out"] == len(smooth_doubles)
+
+
+class TestStorageCounters:
+    def test_writer_and_reader(self, smooth_doubles):
+        obs.enable()
+        buf = io.BytesIO()
+        cfg = PrimacyConfig(chunk_bytes=16 * 1024)
+        with PrimacyFileWriter(buf, cfg) as writer:
+            writer.write(smooth_doubles)
+        n_chunks = writer.n_chunks
+        buf.seek(0)
+        with PrimacyFileReader(buf) as reader:
+            assert reader.read_all() == smooth_doubles
+        c = _counters()
+        assert c["storage.write.records"] == n_chunks
+        assert c["storage.read.chunks"] == n_chunks
+        assert c["storage.read.bytes"] >= len(smooth_doubles) - 16 * 1024
+        names = {sp.name for sp in obs.recorder().spans()}
+        assert {"storage.write_record", "storage.read_chunk"} <= names
+
+    def test_disabled_storage_records_nothing(self, smooth_doubles):
+        buf = io.BytesIO()
+        with PrimacyFileWriter(buf, PrimacyConfig(chunk_bytes=16 * 1024)) as w:
+            w.write(smooth_doubles)
+        buf.seek(0)
+        with PrimacyFileReader(buf) as reader:
+            reader.read_all()
+        assert len(obs.registry()) == 0
+        assert obs.recorder().spans() == []
+
+
+class TestCheckpointCounters:
+    def test_write_and_read_variable(self):
+        from repro.checkpoint import CheckpointReader, CheckpointWriter
+
+        obs.enable()
+        rng = np.random.default_rng(5)
+        field = np.cumsum(rng.normal(size=2048)).reshape(32, 64)
+        buf = io.BytesIO()
+        writer = CheckpointWriter(buf, PrimacyConfig(chunk_bytes=8 * 1024))
+        writer.write_step(0, {"temp": field})
+        writer.close()
+        buf.seek(0)
+        reader = CheckpointReader(buf)
+        np.testing.assert_array_equal(reader.read(0, "temp"), field)
+        c = _counters()
+        assert c["checkpoint.write.variables"] == 1
+        assert c["checkpoint.write.bytes_in"] == field.nbytes
+        assert c["checkpoint.write.bytes_out"] > 0
+        assert c["checkpoint.read.variables"] == 1
+        assert c["checkpoint.read.bytes"] == field.nbytes
+        spans = {sp.name: sp for sp in obs.recorder().spans()}
+        assert spans["checkpoint.write_variable"].meta == {"variable": "temp"}
+        assert "checkpoint.read" in spans
+
+
+class TestStatsReport:
+    def test_stats_report_has_stage_time_bytes_and_ratio(self, smooth_doubles):
+        """The acceptance shape: per-stage time, bytes, and ratio."""
+        obs.enable()
+        comp = PrimacyCompressor(PrimacyConfig(chunk_bytes=32 * 1024))
+        out, _ = comp.compress(smooth_doubles)
+        comp.decompress(out)
+        report = obs.report.collect()
+        assert report["stages"]["primacy.solver"]["seconds"] >= 0.0
+        assert report["stages"]["primacy.solver"]["calls"] >= 1
+        assert report["counters"]["primacy.compress.bytes_in"] == len(
+            smooth_doubles
+        )
+        ratio_hist = report["histograms"]["primacy.compress.chunk_ratio"]
+        assert ratio_hist["mean"] == pytest.approx(
+            len(smooth_doubles)
+            / report["counters"]["primacy.compress.bytes_out"],
+            rel=0.2,
+        )
+        text = obs.report.render_text(report)
+        assert "per-stage wall time" in text
+        assert "primacy.compress.bytes_in" in text

@@ -1,0 +1,108 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(-4.0)
+        assert g.value == -4.0
+
+    def test_histogram_bucket_assignment(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # le-semantics: 1.0 lands in the first bucket, 100.0 overflows.
+        assert h.counts == [2, 1, 1]
+        assert h.samples == 4
+        assert h.total == pytest.approx(106.5)
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_requires_sorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("x", codec="a").inc()
+        reg.counter("x", codec="a").inc()
+        reg.counter("x", codec="b").inc()
+        assert reg.counter("x", codec="a").value == 2
+        assert reg.counter("x", codec="b").value == 1
+
+    def test_kinds_are_independent_namespaces(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(3)
+        reg.gauge("x").set(9.0)
+        assert reg.counter("x").value == 3
+        assert reg.gauge("x").value == 9.0
+
+    def test_snapshot_is_picklable_and_merge_adds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h", boundaries=DEFAULT_RATIO_BUCKETS).observe(1.5)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+
+        other = MetricsRegistry()
+        other.counter("c").inc(1)
+        other.merge(snap)
+        assert other.counter("c").value == 4
+        assert other.gauge("g").value == 7.0
+        h = other.histogram("h", boundaries=DEFAULT_RATIO_BUCKETS)
+        assert h.samples == 1
+        assert h.total == pytest.approx(1.5)
+
+    def test_merge_twice_doubles_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        snap = reg.snapshot()
+        fresh = MetricsRegistry()
+        fresh.merge(snap)
+        fresh.merge(snap)
+        assert fresh.counter("c").value == 4
+
+    def test_merge_mismatched_histogram_bounds_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", boundaries=(1.0, 2.0)).observe(0.5)
+        snap = reg.snapshot()
+        other = MetricsRegistry()
+        other.histogram("h", boundaries=(5.0, 6.0))
+        with pytest.raises(ValueError):
+            other.merge(snap)
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        assert len(reg)
+        reg.reset()
+        assert len(reg) == 0

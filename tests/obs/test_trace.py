@@ -1,0 +1,135 @@
+"""Unit tests for tracing spans."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.trace import _NULL_SPAN, Span, TraceRecorder
+
+
+class TestSpanContextManager:
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.span("anything") is _NULL_SPAN
+        assert obs.span("other", k=1) is _NULL_SPAN
+        assert trace.recorder().spans() == []
+
+    def test_enabled_span_records(self):
+        obs.enable()
+        with obs.span("stage", chunk=3):
+            pass
+        (sp,) = trace.recorder().spans()
+        assert sp.name == "stage"
+        assert sp.pid == os.getpid()
+        assert sp.tid == threading.get_ident()
+        assert sp.duration >= 0.0
+        assert sp.depth == 0
+        assert sp.parent is None
+        assert sp.meta == {"chunk": 3}
+
+    def test_nesting_tracks_depth_and_parent(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = trace.recorder().spans()
+        assert (inner.name, inner.depth, inner.parent) == ("inner", 1, "outer")
+        assert (outer.name, outer.depth, outer.parent) == ("outer", 0, None)
+
+    def test_span_records_even_when_body_raises(self):
+        obs.enable()
+        try:
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [sp.name for sp in trace.recorder().spans()] == ["failing"]
+
+
+class TestTracedDecorator:
+    def test_traced_uses_qualname_by_default(self):
+        @obs.traced()
+        def work():
+            return 42
+
+        obs.enable()
+        assert work() == 42
+        (sp,) = trace.recorder().spans()
+        assert sp.name.endswith("work")
+
+    def test_traced_noop_when_disabled(self):
+        @obs.traced("t")
+        def work():
+            return 1
+
+        assert work() == 1
+        assert trace.recorder().spans() == []
+
+
+class TestRecordSpan:
+    def test_records_pre_measured_duration(self):
+        obs.enable()
+        obs.record_span("external", 1.25, codec="pyzlib")
+        (sp,) = trace.recorder().spans()
+        assert sp.duration == 1.25
+        assert sp.meta == {"codec": "pyzlib"}
+
+    def test_inherits_enclosing_span_as_parent(self):
+        obs.enable()
+        with obs.span("outer"):
+            obs.record_span("timed", 0.5)
+        timed = trace.recorder().spans()[0]
+        assert (timed.depth, timed.parent) == (1, "outer")
+
+
+class TestTraceRecorder:
+    def test_bounded_buffer_counts_drops(self, monkeypatch):
+        monkeypatch.setattr(trace, "_MAX_SPANS", 2)
+        rec = TraceRecorder()
+        for i in range(5):
+            rec.add(
+                Span(
+                    name=f"s{i}", pid=1, tid=1, start=0.0,
+                    duration=0.0, depth=0, parent=None,
+                )
+            )
+        assert len(rec.spans()) == 2
+        assert rec.dropped == 3
+        rec.reset()
+        assert rec.spans() == [] and rec.dropped == 0
+
+    def test_jsonl_tee(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=path)
+        with obs.span("streamed", k="v"):
+            pass
+        obs.disable()
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["name"] == "streamed"
+        assert lines[0]["meta"] == {"k": "v"}
+        assert lines[0]["pid"] == os.getpid()
+
+    def test_env_enables_obs(self):
+        import subprocess
+        import sys
+
+        import repro
+
+        code = (
+            "from repro import obs\n"
+            "assert obs.enabled()\n"
+            "with obs.span('fromenv'):\n"
+            "    pass\n"
+            "assert [s.name for s in obs.recorder().spans()] == ['fromenv']\n"
+        )
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, REPRO_OBS="1", PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

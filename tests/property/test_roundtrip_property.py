@@ -1,0 +1,144 @@
+"""Property-based round-trip suite.
+
+Hypothesis generates float64 streams with the *structured* exponents
+PRIMACY exploits (constant fields, smooth fields) and the hostile
+corners that break naive byte pipelines (denormals, NaN payloads,
+infinities, empty and single-element arrays, byte lengths not divisible
+by the word size), then asserts the bit-exact round-trip contract for
+every registered codec and for the full PRIMACY pipeline.
+
+Example counts are capped: this suite is a tripwire in the tier-1 run,
+not a fuzzing campaign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compressors import available_codecs, get_codec
+from repro.core.primacy import PrimacyCompressor, PrimacyConfig
+from repro.core.idmap import IndexReusePolicy
+
+MAX_VALUES = 192
+
+_FINITE = st.floats(
+    min_value=-1e300, max_value=1e300, allow_nan=False, allow_infinity=False
+)
+
+_SPECIALS = st.sampled_from(
+    [
+        0.0,
+        -0.0,
+        float("inf"),
+        float("-inf"),
+        float("nan"),
+        np.float64(np.uint64(0x7FF800000000BEEF).view(np.float64)),  # NaN payload
+        5e-324,  # smallest denormal
+        -5e-324,
+        2.2250738585072009e-308,  # largest denormal
+        1.7976931348623157e308,  # largest finite
+    ]
+)
+
+
+@st.composite
+def constant_field(draw) -> np.ndarray:
+    """One value repeated: a single exponent, maximally mappable."""
+    value = draw(st.one_of(_FINITE, _SPECIALS))
+    n = draw(st.integers(min_value=1, max_value=MAX_VALUES))
+    return np.full(n, value, dtype="<f8")
+
+
+@st.composite
+def smooth_field(draw) -> np.ndarray:
+    """Random-walk field: few distinct exponents, like simulation data."""
+    n = draw(st.integers(min_value=1, max_value=MAX_VALUES))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    scale = draw(st.sampled_from([1e-6, 1.0, 1e6]))
+    rng = np.random.default_rng(seed)
+    return (np.cumsum(rng.normal(size=n)) * scale + 300.0).astype("<f8")
+
+
+@st.composite
+def hostile_field(draw) -> np.ndarray:
+    """Specials mixed into finite data: denormals, NaN payloads, infs."""
+    values = draw(
+        st.lists(
+            st.one_of(_FINITE, _SPECIALS), min_size=0, max_size=MAX_VALUES
+        )
+    )
+    return np.asarray(values, dtype="<f8")
+
+
+@st.composite
+def double_stream(draw) -> bytes:
+    """Bytes of a float64 field, optionally with a ragged tail."""
+    arr = draw(st.one_of(constant_field(), smooth_field(), hostile_field()))
+    data = arr.tobytes()
+    # Lengths not divisible by 8 must round-trip too (writer tails).
+    trim = draw(st.integers(min_value=0, max_value=7))
+    return data[: len(data) - trim] if trim <= len(data) else data
+
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+class TestCodecRoundTrip:
+    @given(data=double_stream())
+    @_SETTINGS
+    def test_bit_exact_roundtrip(self, codec_name, data):
+        codec = get_codec(codec_name)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(arr=constant_field())
+    @_SETTINGS
+    def test_constant_field_roundtrip(self, codec_name, arr):
+        codec = get_codec(codec_name)
+        data = arr.tobytes()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestPipelineRoundTrip:
+    @given(data=double_stream())
+    @_SETTINGS
+    def test_default_pipeline(self, data):
+        comp = PrimacyCompressor(PrimacyConfig(chunk_bytes=4096))
+        out, _ = comp.compress(data)
+        assert comp.decompress(out) == data
+
+    @given(
+        arr=st.one_of(smooth_field(), hostile_field()),
+        policy=st.sampled_from(list(IndexReusePolicy)),
+    )
+    @_SETTINGS
+    def test_every_index_policy(self, arr, policy):
+        data = arr.tobytes()
+        comp = PrimacyCompressor(
+            PrimacyConfig(chunk_bytes=2048, index_policy=policy)
+        )
+        out, _ = comp.compress(data)
+        assert comp.decompress(out) == data
+
+    @given(arr=hostile_field())
+    @_SETTINGS
+    def test_storage_roundtrip(self, arr):
+        import io
+
+        from repro.storage import PrimacyFileReader, PrimacyFileWriter
+
+        data = arr.tobytes()
+        buf = io.BytesIO()
+        with PrimacyFileWriter(
+            buf, PrimacyConfig(chunk_bytes=2048), durable=False
+        ) as writer:
+            writer.write(data)
+        buf.seek(0)
+        with PrimacyFileReader(buf) as reader:
+            assert reader.read_all() == data

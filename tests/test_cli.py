@@ -182,3 +182,47 @@ class TestProbeCommand:
     def test_probe_with_verdict(self, f64_file, capsys):
         assert main(["probe", str(f64_file), "--network-mbps", "0.01"]) == 0
         assert "COMPRESS" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_stats_reports_stage_time_bytes_ratio(self, f64_file, capsys):
+        assert main(["stats", str(f64_file), "--chunk-bytes", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "CR=" in out
+        assert "per-stage wall time" in out
+        assert "primacy.solver" in out
+        assert "primacy.compress.bytes_in" in out
+
+    def test_stats_dataset_json(self, capsys):
+        import json
+
+        assert main(["stats", "--dataset", "obs_temp",
+                     "--n-values", "2048", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"]["original_bytes"] == 2048 * 8
+        assert "primacy.compress.bytes_in" in report["counters"]
+        assert report["stages"]
+
+    def test_stats_writes_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["stats", "--dataset", "obs_temp", "--n-values", "2048",
+                     "--trace", str(trace)]) == 0
+        assert trace.exists() and trace.read_text().count("\n") > 0
+
+    def test_stats_requires_exactly_one_source(self, f64_file, capsys):
+        assert main(["stats"]) == 2
+        assert main(["stats", str(f64_file), "--dataset", "obs_temp"]) == 2
+
+    def test_stats_leaves_obs_disabled(self, f64_file, capsys):
+        from repro import obs
+
+        assert main(["stats", str(f64_file), "--chunk-bytes", "8192"]) == 0
+        assert not obs.enabled()
