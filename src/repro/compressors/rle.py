@@ -49,26 +49,32 @@ class RleCodec(Codec):
             return b""
         starts, lengths = find_runs(buf)
         out = bytearray()
-        lit_start = 0  # start of the pending literal region
-        for start, length in zip(starts.tolist(), lengths.tolist()):
-            if length < _MIN_RUN:
-                continue
-            self._flush_literals(out, data, lit_start, start)
-            value = data[start]
-            remaining = length
-            pos = start
-            while remaining >= _MIN_RUN:
-                run = min(remaining, _MAX_RUN)
-                out.append(257 - run)
-                out.append(value)
-                remaining -= run
-                pos += run
-            lit_start = pos  # any short tail joins the next literal region
-        self._flush_literals(out, data, lit_start, len(data))
+        # All literal emission slices the input through one memoryview:
+        # a bytes slice would copy each control block's payload once
+        # before appending it, a memoryview slice appends it directly.
+        with memoryview(data) as view:
+            lit_start = 0  # start of the pending literal region
+            for start, length in zip(starts.tolist(), lengths.tolist()):
+                if length < _MIN_RUN:
+                    continue
+                self._flush_literals(out, view, lit_start, start)
+                value = view[start]
+                remaining = length
+                pos = start
+                while remaining >= _MIN_RUN:
+                    run = min(remaining, _MAX_RUN)
+                    out.append(257 - run)
+                    out.append(value)
+                    remaining -= run
+                    pos += run
+                lit_start = pos  # short tail joins the next literal region
+            self._flush_literals(out, view, lit_start, len(view))
         return bytes(out)
 
     @staticmethod
-    def _flush_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+    def _flush_literals(
+        out: bytearray, data: memoryview, start: int, end: int
+    ) -> None:
         for pos in range(start, end, _MAX_LITERAL):
             n = min(_MAX_LITERAL, end - pos)
             out.append(n - 1)

@@ -26,6 +26,7 @@ from repro.core.bytesplit import (
 )
 from repro.core.chunking import Chunker, DEFAULT_CHUNK_BYTES
 from repro.core.idmap import FrequencyIndex, IdMapper, IndexReusePolicy
+from repro.core.kernels import ScratchArena
 from repro.core.linearize import column_linearize, row_linearize, delinearize
 from repro.core.primacy import (
     PrimacyCodec,
@@ -44,6 +45,7 @@ __all__ = [
     "FrequencyIndex",
     "IdMapper",
     "IndexReusePolicy",
+    "ScratchArena",
     "column_linearize",
     "row_linearize",
     "delinearize",

@@ -45,6 +45,16 @@ from repro.core.bytesplit import (
 )
 from repro.core.chunking import DEFAULT_CHUNK_BYTES, Chunker
 from repro.core.idmap import FrequencyIndex, IdMapper, IndexReusePolicy
+from repro.core.kernels import (
+    ScratchArena,
+    fill_high_from_seqs,
+    ids_from_stream,
+    linearize_ids,
+    low_matrix_view,
+    pack_sequences,
+    raw_matrix,
+    reference_apply,
+)
 from repro.core.linearize import Linearization, delinearize
 from repro.isobar import IsobarConfig, IsobarPartitioner
 from repro.isobar.bitplane import BitplaneAnalysis, BitplanePartitioner
@@ -104,6 +114,14 @@ class PrimacyConfig:
         partially-regular bytes at ~8x the analysis work.
     checksum:
         Seal each chunk with Adler-32 of the original bytes.
+    kernels:
+        Chunk-kernel backend: ``"fused"`` (default) runs the
+        allocation-conscious kernels of :mod:`repro.core.kernels` over a
+        reusable :class:`~repro.core.kernels.ScratchArena`; ``"reference"``
+        runs the original naive matrix pipeline.  Output bytes are
+        identical (enforced by ``tests/core/test_kernels.py``); the
+        backend is a local execution choice and is *not* recorded in
+        containers.
     """
 
     codec: str = "pyzlib"
@@ -117,6 +135,7 @@ class PrimacyConfig:
     isobar: IsobarConfig = field(default_factory=IsobarConfig)
     isobar_granularity: str = "byte"
     checksum: bool = True
+    kernels: str = "fused"
 
     def __post_init__(self) -> None:
         if not 1 <= self.high_bytes < self.word_bytes:
@@ -125,6 +144,8 @@ class PrimacyConfig:
             raise ValueError("high_bytes > 3 would need a 4+ GiB index table")
         if self.isobar_granularity not in ("byte", "bit"):
             raise ValueError("isobar_granularity must be 'byte' or 'bit'")
+        if self.kernels not in ("fused", "reference"):
+            raise ValueError("kernels must be 'fused' or 'reference'")
 
 
 # --------------------------------------------------------------------- #
@@ -166,6 +187,7 @@ class ContainerHeader:
             isobar=base.isobar,
             isobar_granularity="bit" if self.bit_isobar else "byte",
             checksum=self.checksum,
+            kernels=base.kernels,
         )
 
 
@@ -486,10 +508,24 @@ class _TimingCodec(Codec):
 
 
 class PrimacyCompressor:
-    """Chunked PRIMACY compressor with a self-describing container."""
+    """Chunked PRIMACY compressor with a self-describing container.
 
-    def __init__(self, config: PrimacyConfig | None = None) -> None:
+    ``arena`` lets callers that own several compressors (the parallel
+    engine's per-worker compressor cache, the storage writer) share one
+    :class:`~repro.core.kernels.ScratchArena`; by default each
+    compressor owns its own.  The arena lives as long as the compressor
+    and is reused by every chunk, so a steady-state stream performs no
+    scratch allocations.
+    """
+
+    def __init__(
+        self,
+        config: PrimacyConfig | None = None,
+        *,
+        arena: ScratchArena | None = None,
+    ) -> None:
         self.config = config or PrimacyConfig()
+        self.arena = arena if arena is not None else ScratchArena()
         self._codec = get_codec(self.config.codec, **self.config.codec_options)
         self._mapper = IdMapper(seq_bytes=self.config.high_bytes)
         self._chunker = Chunker(self.config.chunk_bytes, self.config.word_bytes)
@@ -497,7 +533,7 @@ class PrimacyCompressor:
     def _make_partitioner(self, codec):
         if self.config.isobar_granularity == "bit":
             return BitplanePartitioner(codec)
-        return IsobarPartitioner(codec, self.config.isobar)
+        return IsobarPartitioner(codec, self.config.isobar, arena=self.arena)
 
     # ------------------------------------------------------------------ #
     # compression                                                         #
@@ -576,6 +612,7 @@ class PrimacyCompressor:
             cfg.linearization,
             cfg.checksum,
             current_index,
+            arena=self.arena if cfg.kernels == "fused" else None,
         )
 
     def _compress_chunk(
@@ -589,23 +626,37 @@ class PrimacyCompressor:
         partitioner = self._make_partitioner(timing_codec)
 
         t_prec = 0.0
+        fused = cfg.kernels == "fused"
 
         # --- preconditioning: split + frequency analysis + ID mapping ---
         t0 = time.perf_counter()
-        matrix = values_to_byte_matrix(chunk, cfg.word_bytes)
-        high, low = split_bytes(matrix, cfg.high_bytes)
-        seqs = self._mapper.sequences(high)
+        if fused:
+            raw = raw_matrix(chunk, cfg.word_bytes)
+            n_values = raw.shape[0]
+            seqs = pack_sequences(raw, cfg.high_bytes, self.arena)
+            low = low_matrix_view(raw, cfg.high_bytes)
+        else:
+            matrix = values_to_byte_matrix(chunk, cfg.word_bytes)
+            n_values = matrix.shape[0]
+            high, low = split_bytes(matrix, cfg.high_bytes)
+            seqs = self._mapper.sequences(high)
         freq = self._mapper.frequencies(seqs)
         reuse = self._should_reuse(prev_index, prev_freq, freq)
         if reuse:
             base_index = prev_index
         else:
             base_index = self._mapper.index_from_frequencies(freq)
-        id_matrix, used_index = self._mapper.apply(high, base_index)
-        if cfg.linearization is Linearization.COLUMN:
-            id_stream = np.ascontiguousarray(id_matrix.T).tobytes()
+        if fused:
+            ids, used_index = self._mapper.apply_ids(seqs, base_index)
+            id_stream = linearize_ids(
+                ids, cfg.high_bytes, cfg.linearization, self.arena
+            )
         else:
-            id_stream = np.ascontiguousarray(id_matrix).tobytes()
+            id_matrix, used_index = reference_apply(seqs, base_index)
+            if cfg.linearization is Linearization.COLUMN:
+                id_stream = np.ascontiguousarray(id_matrix.T).tobytes()
+            else:
+                id_stream = np.ascontiguousarray(id_matrix).tobytes()
         t_prec += time.perf_counter() - t0
 
         # --- solver: backend codec over the ID stream ---
@@ -622,7 +673,7 @@ class PrimacyCompressor:
         record = bytearray()
         flags = 0 if reuse else _CHUNK_FLAG_INLINE_INDEX
         record.append(flags)
-        record += encode_uvarint(matrix.shape[0])
+        record += encode_uvarint(n_values)
         if reuse:
             extension = used_index.values[base_index.n_unique :]
             record += encode_uvarint(extension.size)
@@ -645,15 +696,15 @@ class PrimacyCompressor:
         if isinstance(analysis, BitplaneAnalysis):
             low_compressible = int(round(low.size * analysis.compressible_fraction))
         else:
-            low_compressible = matrix.shape[0] * int(
+            low_compressible = n_values * int(
                 analysis.compressible_columns.size
             )
         chunk_stats = PrimacyChunkStats(
-            n_values=matrix.shape[0],
+            n_values=n_values,
             n_unique=used_index.n_unique,
             index_reused=reuse,
             index_bytes=index_bytes,
-            high_in=high.size,
+            high_in=n_values * cfg.high_bytes,
             high_out=len(high_compressed),
             low_in=low.size,
             low_compressible_in=low_compressible,
@@ -712,6 +763,7 @@ class PrimacyCompressor:
         )
         parts: list[bytes] = []
         current_index: FrequencyIndex | None = None
+        arena = self.arena if self.config.kernels == "fused" else None
         for record in iter_container_records(data, header):
             chunk_bytes, current_index = self._decompress_chunk(
                 record,
@@ -723,6 +775,7 @@ class PrimacyCompressor:
                 header.linearization,
                 header.checksum,
                 current_index,
+                arena=arena,
             )
             parts.append(chunk_bytes)
         result = b"".join(parts) + header.tail
@@ -741,6 +794,7 @@ class PrimacyCompressor:
         linearization: Linearization,
         use_checksum: bool,
         current_index: FrequencyIndex | None,
+        arena: ScratchArena | None = None,
     ) -> tuple[bytes, FrequencyIndex]:
         # Record decoding is the hot boundary between stored bytes and
         # the pipeline: corruption anywhere inside (index tables, codec
@@ -758,6 +812,7 @@ class PrimacyCompressor:
                 linearization,
                 use_checksum,
                 current_index,
+                arena,
             )
             if _OBS_STATE.enabled:
                 seconds = time.perf_counter() - t0
@@ -785,6 +840,7 @@ class PrimacyCompressor:
         linearization: Linearization,
         use_checksum: bool,
         current_index: FrequencyIndex | None,
+        arena: ScratchArena | None = None,
     ) -> tuple[bytes, FrequencyIndex]:
         if not record:
             raise TruncationError("empty chunk record")
@@ -825,13 +881,33 @@ class PrimacyCompressor:
         pos += low_len
 
         id_stream = codec.decompress(high_compressed)
-        id_matrix = delinearize(id_stream, n_values, high_bytes, linearization)
-        high = mapper.invert(id_matrix, index)
-        low = partitioner.decompress(low_blob)
-        if low.shape != (n_values, word_bytes - high_bytes):
-            raise CorruptionError("low-order matrix shape mismatch")
-        matrix = combine_bytes(high, low)
-        chunk = byte_matrix_to_values(matrix)
+        if arena is not None:
+            # Fused decode: IDs straight off the stream, sequence bytes
+            # scattered into a raw-layout output buffer, and the ISOBAR
+            # matrix decompressed directly into the same buffer's
+            # low-order columns -- one owning copy at the end.
+            ids = ids_from_stream(
+                id_stream, n_values, high_bytes, linearization, arena
+            )
+            if ids.size and int(ids.max()) >= index.n_unique:
+                raise CodecError("ID out of index range")
+            seqs = index.values[ids]
+            if high_bytes > word_bytes:
+                raise CorruptionError("high-order width exceeds word width")
+            raw_out = arena.array("dec_raw", (n_values, word_bytes))
+            fill_high_from_seqs(seqs, high_bytes, raw_out, arena)
+            partitioner.decompress(
+                low_blob, out=low_matrix_view(raw_out, high_bytes)
+            )
+            chunk = raw_out.tobytes()
+        else:
+            id_matrix = delinearize(id_stream, n_values, high_bytes, linearization)
+            high = mapper.invert(id_matrix, index)
+            low = partitioner.decompress(low_blob)
+            if low.shape != (n_values, word_bytes - high_bytes):
+                raise CorruptionError("low-order matrix shape mismatch")
+            matrix = combine_bytes(high, low)
+            chunk = byte_matrix_to_values(matrix)
         if use_checksum:
             if len(record) - pos != 4:
                 raise CorruptionError(

@@ -106,7 +106,10 @@ class IsobarAnalyzer:
         cfg = self.config
         reports = []
         for col in range(matrix.shape[1]):
-            column = np.ascontiguousarray(sampled[:, col])
+            # Strided column views feed bincount directly -- no
+            # per-column copy, and the sampled matrix itself may be a
+            # strided view of the raw chunk buffer (fused kernels).
+            column = sampled[:, col]
             h = byte_entropy(column)
             top = top_byte_fraction(column)
             compressible = h < cfg.entropy_threshold or top > cfg.top_byte_threshold

@@ -132,10 +132,22 @@ class BitplanePartitioner:
 
     # -- decompression -----------------------------------------------------------
 
-    def decompress(self, data: bytes) -> np.ndarray:
-        """Invert :meth:`compress` exactly (Codec API)."""
+    def decompress(
+        self, data: bytes, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Invert :meth:`compress` exactly (Codec API).
+
+        With ``out`` the decoded matrix is copied into the provided
+        (possibly strided) buffer, which must match the container's
+        dimensions; a mismatch raises :class:`CodecError`.
+        """
         n_rows, pos = decode_uvarint(data, 0)
         n_cols, pos = decode_uvarint(data, pos)
+        if out is not None and out.shape != (n_rows, n_cols):
+            raise CodecError(
+                f"bit-plane container holds a {n_rows}x{n_cols} matrix; "
+                f"output buffer is {out.shape}"
+            )
         n_planes = 8 * n_cols
         mask_len = (n_planes + 7) // 8
         mask_bytes = np.frombuffer(data, dtype=np.uint8, count=mask_len, offset=pos)
@@ -153,7 +165,9 @@ class BitplanePartitioner:
             raise CodecError("truncated bit-plane raw group")
 
         if n_rows == 0 or n_cols == 0:
-            return np.zeros((n_rows, n_cols), dtype=np.uint8)
+            return out if out is not None else np.zeros(
+                (n_rows, n_cols), dtype=np.uint8
+            )
 
         n_comp = int(mask.sum())
         n_raw = n_planes - n_comp
@@ -173,7 +187,11 @@ class BitplanePartitioner:
             if raw_bits.size != n_raw * n_rows:
                 raise CodecError("bit-plane raw group size mismatch")
             bits[:, ~mask] = raw_bits.reshape(n_raw, n_rows).T
-        return np.packbits(bits, axis=1)[:, :n_cols]
+        matrix = np.packbits(bits, axis=1)[:, :n_cols]
+        if out is not None:
+            out[:] = matrix
+            return out
+        return matrix
 
     # -- model hooks -----------------------------------------------------------
 

@@ -32,15 +32,42 @@ __all__ = ["IsobarPartitioner"]
 
 
 class IsobarPartitioner:
-    """Analyze-partition-compress pipeline for hard-to-compress byte data."""
+    """Analyze-partition-compress pipeline for hard-to-compress byte data.
+
+    ``matrix`` arguments may be arbitrary (including negative-) strided
+    views -- the PRIMACY fused kernels pass the low-order columns as a
+    view of the raw chunk buffer, and the column groups are gathered
+    from it in a single pass.  With an ``arena``
+    (:class:`repro.core.kernels.ScratchArena`) the gather reuses
+    per-pipeline scratch buffers instead of allocating per chunk.
+    """
 
     def __init__(
         self,
         codec: Codec,
         config: IsobarConfig | None = None,
+        *,
+        arena=None,
     ) -> None:
         self.codec = codec
         self.analyzer = IsobarAnalyzer(config)
+        self.arena = arena
+
+    def _gather_columns(self, matrix: np.ndarray, cols: np.ndarray, name: str) -> bytes:
+        """Column-linearize ``matrix[:, cols]`` in one strided pass.
+
+        Replaces the fancy-index + transpose + ``ascontiguousarray``
+        chain (two full copies) with one gather per column into a
+        (reused) plane-major buffer, serialized once.
+        """
+        n_rows = matrix.shape[0]
+        if self.arena is not None:
+            group = self.arena.array(name, (cols.size, n_rows))
+        else:
+            group = np.empty((cols.size, n_rows), dtype=np.uint8)
+        for i, col in enumerate(cols):
+            group[i] = matrix[:, col]
+        return group.tobytes()
 
     # -- compression -------------------------------------------------------
 
@@ -71,14 +98,14 @@ class IsobarPartitioner:
         bitmap[comp_cols] = 1
         out += np.packbits(bitmap).tobytes()
 
-        # Column linearization: transpose so each column is contiguous.
+        # Column linearization: plane-major so each column is contiguous.
         comp_group = (
-            np.ascontiguousarray(matrix[:, comp_cols].T).tobytes()
+            self._gather_columns(matrix, comp_cols, "isobar_comp")
             if comp_cols.size
             else b""
         )
         raw_group = (
-            np.ascontiguousarray(matrix[:, raw_cols].T).tobytes()
+            self._gather_columns(matrix, raw_cols, "isobar_raw")
             if raw_cols.size
             else b""
         )
@@ -91,10 +118,26 @@ class IsobarPartitioner:
 
     # -- decompression ------------------------------------------------------
 
-    def decompress(self, data: bytes) -> np.ndarray:
-        """Invert :meth:`compress`; returns the original uint8 matrix."""
+    def decompress(
+        self, data: bytes, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Invert :meth:`compress`; returns the original uint8 matrix.
+
+        With ``out`` the matrix is written into the provided (possibly
+        strided) buffer instead of a fresh allocation -- the fused
+        decode path passes a view of the final chunk buffer, so the
+        decompressed columns land in place.  ``out``'s shape must match
+        the container's dimensions; a mismatch raises
+        :class:`CodecError` (it means the record is corrupt or the
+        caller's geometry is wrong).
+        """
         n_rows, pos = decode_uvarint(data, 0)
         n_cols, pos = decode_uvarint(data, pos)
+        if out is not None and out.shape != (n_rows, n_cols):
+            raise CodecError(
+                f"ISOBAR container holds a {n_rows}x{n_cols} matrix; "
+                f"output buffer is {out.shape}"
+            )
         bitmap_len = (n_cols + 7) // 8
         bitmap_bytes = np.frombuffer(
             data, dtype=np.uint8, count=bitmap_len, offset=pos
@@ -114,7 +157,7 @@ class IsobarPartitioner:
         if len(raw_group) != raw_len:
             raise CodecError("truncated ISOBAR raw group")
 
-        matrix = np.empty((n_rows, n_cols), dtype=np.uint8)
+        matrix = out if out is not None else np.empty((n_rows, n_cols), dtype=np.uint8)
         if comp_cols.size:
             comp_bytes = self.codec.decompress(compressed)
             if len(comp_bytes) != n_rows * comp_cols.size:

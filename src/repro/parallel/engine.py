@@ -47,6 +47,7 @@ from multiprocessing import get_context, resource_tracker
 from multiprocessing.shared_memory import SharedMemory
 
 from repro.compressors.base import CodecError
+from repro.core.kernels import ScratchArena
 from repro.core.primacy import PrimacyCompressor, PrimacyConfig
 from repro.lint import sanitize
 from repro.obs import metrics as _obs_metrics
@@ -213,13 +214,21 @@ class PoolStats:
         }
 
 
-def _compressor_for(cache: list, config: PrimacyConfig) -> PrimacyCompressor:
+def _compressor_for(
+    cache: list, config: PrimacyConfig, arena: ScratchArena | None = None
+) -> PrimacyCompressor:
     """Linear-scan compressor cache (configs are few and dict-bearing,
-    hence unhashable)."""
+    hence unhashable).
+
+    All compressors of one cache share one :class:`ScratchArena`: the
+    cache is per worker (or per engine, inline), tasks within it run
+    sequentially, and sharing means a config switch does not restart
+    the arena's steady state.
+    """
     for cfg, comp in cache:
         if cfg == config:
             return comp
-    comp = PrimacyCompressor(config)
+    comp = PrimacyCompressor(config, arena=arena)
     cache.append((config, comp))
     return comp
 
@@ -268,6 +277,11 @@ def _worker_main(
         # double-counted when this worker's snapshot merges back.
         _obs_metrics.registry().reset()
     compressors: list = []
+    # One scratch arena per worker, shared by every compressor the
+    # worker builds and reused across tasks: a steady stream of
+    # equal-geometry chunks performs no scratch allocations after the
+    # first task.
+    arena = ScratchArena()
     led = sanitize.ledger() if sanitize.enabled() else None
     while True:
         item = task_q.get()
@@ -301,7 +315,7 @@ def _worker_main(
                             pass
             else:
                 data = payload
-            comp = _compressor_for(compressors, config or default_config)
+            comp = _compressor_for(compressors, config or default_config, arena)
             t_work = time.monotonic()
             result, out_bytes = _execute(comp, kind, data)
             result_q.put(
@@ -381,6 +395,7 @@ class ParallelEngine:
         self._pid: int | None = None
         self._inline_fallback = self.workers == 1
         self._local_compressors: list = []
+        self._local_arena = ScratchArena()
         self._next_id = 0
         self._done: dict[int, tuple[bool, object]] = {}
         self._pending: set[int] = set()
@@ -457,6 +472,7 @@ class ParallelEngine:
         self._free_shm = {}
         self._all_shm = []
         self._local_compressors = []
+        self._local_arena = ScratchArena()
         self.metrics = MetricsRegistry()
         self.stats = PoolStats(workers=self.workers, registry=self.metrics)
         self._inline_fallback = self.workers == 1
@@ -581,7 +597,9 @@ class ParallelEngine:
 
     def run_inline(self, kind: str, data, config: PrimacyConfig | None = None):
         """Execute one task synchronously in the calling process."""
-        comp = _compressor_for(self._local_compressors, config or self.config)
+        comp = _compressor_for(
+            self._local_compressors, config or self.config, self._local_arena
+        )
         result, _ = _execute(comp, kind, as_view(data))
         self.stats.inc("tasks")
         self.stats.inc("inline_tasks")
@@ -604,7 +622,8 @@ class ParallelEngine:
         if self._inline_fallback:
             try:
                 comp = _compressor_for(
-                    self._local_compressors, config or self.config
+                    self._local_compressors, config or self.config,
+                    self._local_arena,
                 )
                 result, _ = _execute(comp, kind, view)
                 self._done[task_id] = (True, result)

@@ -108,6 +108,8 @@ class PrimacyFileWriter:
                 self._engine = ParallelEngine(self.config, workers=workers)
                 self._owns_engine = True
         self._inflight: deque[int] = deque()
+        # Persistent for the writer's lifetime, so its ScratchArena is
+        # reused across every chunk written through the serial path.
         self._compressor = PrimacyCompressor(self.config)
         self._buffer = bytearray()
         self._chunks: list[ChunkEntry] = []

@@ -1,0 +1,266 @@
+"""Fused-kernel equivalence and ScratchArena reuse tests.
+
+The fused backend must be byte-for-byte indistinguishable from the
+``reference`` backend on *every* input -- including the floating-point
+corner cases the ID mapper's frequency assumptions say nothing about
+(denormals, NaN payload bits, infinities) and ragged chunk tails -- and
+the arena must not leak state between chunks of different geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FrequencyIndex,
+    IdMapper,
+    IndexReusePolicy,
+    PrimacyCompressor,
+    PrimacyConfig,
+    ScratchArena,
+)
+from repro.core.bytesplit import split_bytes, values_to_byte_matrix
+from repro.core.kernels import (
+    fill_high_from_seqs,
+    ids_from_stream,
+    linearize_ids,
+    low_matrix_view,
+    pack_sequences,
+    raw_matrix,
+    reference_apply,
+)
+from repro.core.linearize import Linearization, column_linearize, row_linearize
+
+
+def _adversarial_payloads() -> dict[str, bytes]:
+    """Float64 streams exercising the encodings frequency analysis hates."""
+    rng = np.random.default_rng(7)
+    denormals = rng.integers(1, 1 << 52, 256, dtype=np.uint64)  # exponent 0
+    nan_payloads = (
+        rng.integers(1, 1 << 52, 256, dtype=np.uint64)
+        | np.uint64(0x7FF) << np.uint64(52)
+        | rng.integers(0, 2, 256, dtype=np.uint64) << np.uint64(63)
+    )
+    infs = np.where(
+        rng.integers(0, 2, 64, dtype=np.uint64).astype(bool),
+        np.float64(np.inf).view(np.uint64),
+        np.float64(-np.inf).view(np.uint64),
+    )
+    mixed = np.concatenate(
+        [
+            denormals,
+            nan_payloads,
+            infs,
+            rng.normal(scale=1e300, size=128).view(np.uint64),
+            np.zeros(64, dtype=np.uint64),
+        ]
+    )
+    rng.shuffle(mixed)
+    full = mixed.astype("<u8").tobytes()
+    return {
+        "denormals": denormals.astype("<u8").tobytes(),
+        "nan-payloads": nan_payloads.astype("<u8").tobytes(),
+        "infinities": infs.astype("<u8").tobytes(),
+        "mixed": full,
+        "ragged-tail": full + b"\x01\x02\x03",  # not a multiple of 8
+        "tail-only": b"\xff" * 5,
+        "empty": b"",
+    }
+
+
+_PAYLOADS = _adversarial_payloads()
+
+
+class TestBackendEquivalence:
+    """Fused and reference backends agree byte-for-byte."""
+
+    @pytest.mark.parametrize("policy", list(IndexReusePolicy))
+    @pytest.mark.parametrize("name", sorted(_PAYLOADS))
+    def test_containers_identical(self, policy, name):
+        data = _PAYLOADS[name]
+        # Small chunks force multiple chunks per stream, exercising the
+        # index reuse / extension paths of every policy.
+        kwargs = dict(chunk_bytes=1024, index_policy=policy)
+        fused, _ = PrimacyCompressor(PrimacyConfig(**kwargs)).compress(data)
+        ref, _ = PrimacyCompressor(
+            PrimacyConfig(kernels="reference", **kwargs)
+        ).compress(data)
+        assert fused == ref
+        assert PrimacyCompressor(PrimacyConfig(**kwargs)).decompress(fused) == data
+        assert (
+            PrimacyCompressor(
+                PrimacyConfig(kernels="reference", **kwargs)
+            ).decompress(fused)
+            == data
+        )
+
+    @pytest.mark.parametrize("linearization", list(Linearization))
+    def test_linearizations_identical(self, linearization):
+        data = _PAYLOADS["mixed"]
+        kwargs = dict(chunk_bytes=2048, linearization=linearization)
+        fused, _ = PrimacyCompressor(PrimacyConfig(**kwargs)).compress(data)
+        ref, _ = PrimacyCompressor(
+            PrimacyConfig(kernels="reference", **kwargs)
+        ).compress(data)
+        assert fused == ref
+        assert PrimacyCompressor(PrimacyConfig(**kwargs)).decompress(fused) == data
+
+    def test_extension_path_identical(self):
+        """FIRST_CHUNK with new sequences in later chunks extends the index."""
+        rng = np.random.default_rng(11)
+        # Chunk 1 spans a narrow exponent range; chunk 2 a disjoint one,
+        # so every chunk-2 sequence misses the reused index.
+        chunk1 = rng.uniform(1.0, 2.0, 512)
+        chunk2 = rng.uniform(1e200, 1e201, 512)
+        data = np.concatenate([chunk1, chunk2]).astype("<f8").tobytes()
+        kwargs = dict(chunk_bytes=4096, index_policy=IndexReusePolicy.FIRST_CHUNK)
+        fused, _ = PrimacyCompressor(PrimacyConfig(**kwargs)).compress(data)
+        ref, _ = PrimacyCompressor(
+            PrimacyConfig(kernels="reference", **kwargs)
+        ).compress(data)
+        assert fused == ref
+        assert PrimacyCompressor(PrimacyConfig(**kwargs)).decompress(fused) == data
+
+
+class TestKernelUnits:
+    """Each fused kernel against its naive formulation."""
+
+    @pytest.fixture
+    def raw(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=257).astype("<f8").tobytes()
+        return data, raw_matrix(data, 8)
+
+    @pytest.mark.parametrize("high_bytes", [1, 2, 3])
+    def test_pack_sequences(self, raw, high_bytes):
+        data, matrix = raw
+        naive = IdMapper(high_bytes).sequences(
+            split_bytes(values_to_byte_matrix(data, 8), high_bytes)[0]
+        )
+        fused = pack_sequences(matrix, high_bytes, ScratchArena())
+        assert np.array_equal(fused, naive)
+
+    @pytest.mark.parametrize("high_bytes", [1, 2, 3, 7, 8])
+    def test_low_matrix_view(self, raw, high_bytes):
+        data, matrix = raw
+        naive = split_bytes(values_to_byte_matrix(data, 8), high_bytes)[1]
+        view = low_matrix_view(matrix, high_bytes)
+        assert np.array_equal(view, naive)
+        if high_bytes < 8:
+            assert view.base is not None  # a view, not a copy
+
+    @pytest.mark.parametrize("order", list(Linearization))
+    @pytest.mark.parametrize("seq_bytes", [1, 2, 3])
+    def test_linearize_roundtrip(self, order, seq_bytes):
+        rng = np.random.default_rng(5)
+        ids = rng.integers(0, 1 << (8 * seq_bytes), 321).astype(np.int32)
+        arena = ScratchArena()
+        stream = linearize_ids(ids, seq_bytes, order, arena)
+        mapper = IdMapper(seq_bytes)
+        matrix = mapper._ids_to_bytes(ids.astype(np.int64))
+        naive = (
+            column_linearize(matrix)
+            if order is Linearization.COLUMN
+            else row_linearize(matrix)
+        )
+        assert stream == naive
+        back = ids_from_stream(stream, ids.size, seq_bytes, order, arena)
+        assert np.array_equal(back, ids)
+
+    def test_ids_from_stream_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ids_from_stream(b"\x00" * 7, 4, 2, Linearization.COLUMN, ScratchArena())
+
+    @pytest.mark.parametrize("high_bytes", [1, 2, 3])
+    def test_fill_high_inverts_pack(self, high_bytes):
+        rng = np.random.default_rng(9)
+        raw = rng.integers(0, 256, (100, 8), dtype=np.uint8)
+        arena = ScratchArena()
+        seqs = pack_sequences(raw, high_bytes, arena)
+        out = np.zeros_like(raw)
+        fill_high_from_seqs(seqs, high_bytes, out, arena)
+        assert np.array_equal(out[:, 8 - high_bytes :], raw[:, 8 - high_bytes :])
+
+    def test_apply_ids_matches_reference_on_miss(self):
+        """Reuse-miss path: one gather, same IDs as the double-gather oracle."""
+        mapper = IdMapper(2)
+        seqs = np.array([7, 7, 3, 500, 3, 9999, 500, 7], dtype=np.uint32)
+        index = FrequencyIndex(
+            values=np.array([7, 3], dtype=np.uint32), seq_bytes=2
+        )
+        ref_matrix, ref_index = reference_apply(seqs, index)
+        ids, used_index = mapper.apply_ids(seqs, index)
+        assert np.array_equal(used_index.values, ref_index.values)
+        assert np.array_equal(mapper._ids_to_bytes(ids.astype(np.int64)), ref_matrix)
+        # The persistent table now serves the extended index without work.
+        ids2, again = mapper.apply_ids(seqs, used_index)
+        assert again is used_index
+        assert np.array_equal(ids2, ids)
+
+
+class TestScratchArena:
+    def test_growth_and_reuse(self):
+        arena = ScratchArena()
+        a = arena.array("x", 100, np.int32)
+        assert arena.allocations == 1
+        b = arena.array("x", 50, np.int32)  # smaller request reuses
+        assert arena.allocations == 1
+        assert b.base is a.base or b.base is arena._buffers["x"]
+        arena.array("x", 200, np.int32)  # growth reallocates
+        assert arena.allocations == 2
+        arena.array("y", 10)  # distinct name, distinct buffer
+        assert arena.allocations == 3
+        assert arena.nbytes >= 200 * 4 + 10
+
+    def test_zero_and_negative(self):
+        arena = ScratchArena()
+        assert arena.array("z", 0).size == 0
+        with pytest.raises(ValueError):
+            arena.array("z", (-1,))
+
+    def test_clear(self):
+        arena = ScratchArena()
+        arena.array("x", 64)
+        arena.clear()
+        assert arena.nbytes == 0
+        arena.array("x", 64)
+        assert arena.allocations == 2
+
+    def test_no_state_leaks_between_shapes(self):
+        """One arena-backed pipeline over varying chunk geometry matches
+        fresh single-use pipelines on every payload."""
+        rng = np.random.default_rng(13)
+        shared = PrimacyCompressor(PrimacyConfig(chunk_bytes=4096))
+        payloads = [
+            rng.normal(size=n).astype("<f8").tobytes() + b"t" * tail
+            for n, tail in [(700, 0), (64, 3), (511, 7), (1, 0), (0, 2), (700, 0)]
+        ]
+        for data in payloads:
+            out, _ = shared.compress(data)
+            fresh, _ = PrimacyCompressor(PrimacyConfig(chunk_bytes=4096)).compress(
+                data
+            )
+            assert out == fresh
+            assert shared.decompress(out) == data
+
+    def test_steady_state_stops_allocating(self):
+        rng = np.random.default_rng(17)
+        comp = PrimacyCompressor(PrimacyConfig(chunk_bytes=4096))
+        data = rng.normal(size=2048).astype("<f8").tobytes()
+        blob, _ = comp.compress(data)
+        comp.decompress(blob)
+        allocations = comp.arena.allocations
+        for _ in range(3):
+            blob, _ = comp.compress(data)
+            assert comp.decompress(blob) == data
+        assert comp.arena.allocations == allocations
+
+    def test_compressor_accepts_external_arena(self):
+        arena = ScratchArena()
+        comp = PrimacyCompressor(PrimacyConfig(chunk_bytes=4096), arena=arena)
+        assert comp.arena is arena
+        data = np.arange(512, dtype="<f8").tobytes()
+        blob, _ = comp.compress(data)
+        assert comp.decompress(blob) == data
+        assert arena.allocations > 0
