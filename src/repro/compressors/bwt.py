@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.compressors import kernels as _batch
 from repro.compressors.base import Codec, CodecError, register_codec
 from repro.compressors.huffman import decode_symbol_block, encode_symbol_block
+from repro.obs.trace import stage_span
 from repro.util.varint import decode_uvarint, encode_uvarint
 
 __all__ = ["BwtCodec", "bwt_transform", "bwt_inverse", "mtf_encode", "mtf_decode"]
@@ -172,16 +174,56 @@ def _rle0_decode(symbols: np.ndarray) -> np.ndarray:
     return np.asarray(out, dtype=np.int64)
 
 
+# Entropy-kernel backend -> per-stage implementations.  ``batch`` is the
+# vectorized :mod:`repro.compressors.kernels` stack; ``reference`` keeps
+# the scalar loops above as the equivalence oracle.  Every BWT-stack
+# kernel is a deterministic transform, so (unlike ``pyzlib``) compressed
+# bytes are identical across backends.
+_KERNEL_BACKENDS = {
+    "batch": (
+        _batch.mtf_encode,
+        _batch.mtf_decode,
+        _batch.rle0_encode,
+        _batch.bwt_inverse,
+    ),
+    "reference": (mtf_encode, mtf_decode, _rle0_encode, bwt_inverse),
+}
+
+
 @register_codec
 class BwtCodec(Codec):
-    """Block-sorting compressor: strong ratio, low throughput."""
+    """Block-sorting compressor: strong ratio, low throughput.
+
+    ``kernels`` selects ``"batch"`` (vectorized entropy kernels,
+    default) or ``"reference"`` (frozen scalar implementation / oracle).
+    """
 
     name = "pybzip"
 
-    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        kernels: str = "batch",
+    ) -> None:
         if block_size < 16:
             raise ValueError("block_size too small")
+        if kernels not in _KERNEL_BACKENDS:
+            raise ValueError("kernels must be 'batch' or 'reference'")
         self.block_size = block_size
+        self.kernels = kernels
+        (
+            self._mtf_encode,
+            self._mtf_decode,
+            self._rle0_encode,
+            self._bwt_inverse,
+        ) = _KERNEL_BACKENDS[kernels]
+
+    def _rle0_expand(self, symbols: np.ndarray, block_len: int) -> np.ndarray:
+        if self.kernels == "batch":
+            # The batch decoder bounds the expansion up front, so a
+            # corrupt stream fails before any giant allocation.
+            return _batch.rle0_decode(symbols, max_size=block_len)
+        return _rle0_decode(symbols)
 
     def compress(self, data: bytes) -> bytes:
         """Compress ``data`` into a self-describing stream (Codec API)."""
@@ -198,12 +240,16 @@ class BwtCodec(Codec):
                 count=min(self.block_size, n - b * self.block_size),
                 offset=b * self.block_size,
             )
-            last, primary = bwt_transform(chunk)
-            ranks = mtf_encode(last)
-            symbols = _rle0_encode(ranks)
+            with stage_span(self.name, "bwt"):
+                last, primary = bwt_transform(chunk)
+            with stage_span(self.name, "mtf"):
+                ranks = self._mtf_encode(last)
+            with stage_span(self.name, "rle0"):
+                symbols = self._rle0_encode(ranks)
             out += encode_uvarint(chunk.size)
             out += encode_uvarint(primary)
-            out += encode_symbol_block(symbols, _ALPHABET)
+            with stage_span(self.name, "huffman"):
+                out += encode_symbol_block(symbols, _ALPHABET)
         return bytes(out)
 
     def decompress(self, data: bytes) -> bytes:
@@ -216,12 +262,16 @@ class BwtCodec(Codec):
         for _ in range(n_blocks):
             block_len, pos = decode_uvarint(data, pos)
             primary, pos = decode_uvarint(data, pos)
-            symbols, pos = decode_symbol_block(data, pos)
-            ranks = _rle0_decode(symbols)
+            with stage_span(self.name, "huffman"):
+                symbols, pos = decode_symbol_block(data, pos)
+            with stage_span(self.name, "rle0"):
+                ranks = self._rle0_expand(symbols, block_len)
             if ranks.size != block_len:
                 raise CodecError("BWT block length mismatch after RLE0")
-            last = mtf_decode(ranks)
-            parts.append(bwt_inverse(last, primary).tobytes())
+            with stage_span(self.name, "mtf"):
+                last = self._mtf_decode(ranks)
+            with stage_span(self.name, "bwt"):
+                parts.append(self._bwt_inverse(last, primary).tobytes())
         result = b"".join(parts)
         if len(result) != n:
             raise CodecError("BWT stream length mismatch")

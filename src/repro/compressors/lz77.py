@@ -70,7 +70,7 @@ class TokenStream:
             raise CodecError("token stream does not cover the input")
 
 
-def _hash_positions(data: bytes) -> list[int]:
+def _hash_array(data: bytes) -> np.ndarray:
     """Vectorized 4-byte hash for every position ``0 .. len(data) - 4``."""
     arr = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
     u32 = (
@@ -79,8 +79,12 @@ def _hash_positions(data: bytes) -> list[int]:
         | (arr[2:-1] << np.uint32(16))
         | (arr[3:] << np.uint32(24))
     )
-    h = (u32 * np.uint32(_MULT)) >> np.uint32(32 - _HASH_BITS)
-    return h.tolist()
+    return (u32 * np.uint32(_MULT)) >> np.uint32(32 - _HASH_BITS)
+
+
+def _hash_positions(data: bytes) -> list[int]:
+    """:func:`_hash_array` as a Python list (for the scalar parse loop)."""
+    return _hash_array(data).tolist()
 
 
 def _match_length(data: bytes, a: int, b: int, max_len: int) -> int:

@@ -21,6 +21,8 @@ preconditioner-generality tests.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.compressors.base import Codec, CodecError, register_codec
 from repro.util.varint import decode_uvarint, encode_uvarint
 
@@ -43,8 +45,15 @@ class RangeEncoder:
         self.cache_size = 1
         self.out = bytearray()
 
-    def encode_bit(self, probs: list[int], index: int, bit: int) -> None:
-        """Code one bit under the adaptive probability at ``index``."""
+    def encode_bit(
+        self, probs: list[int] | memoryview, index: int, bit: int
+    ) -> None:
+        """Code one bit under the adaptive probability at ``index``.
+
+        ``probs`` is any mutable int sequence (``list`` or a
+        ``memoryview`` over a model buffer); indexing must yield plain
+        Python ints so the 32-bit arithmetic below never narrows.
+        """
         p = probs[index]
         bound = (self.range >> _PROB_BITS) * p
         if bit == 0:
@@ -88,7 +97,7 @@ class RangeDecoder:
         self.code = int.from_bytes(data[1:5], "big")
         self.range = _MASK32
 
-    def decode_bit(self, probs: list[int], index: int) -> int:
+    def decode_bit(self, probs: list[int] | memoryview, index: int) -> int:
         """Decode one bit, mirroring :meth:`RangeEncoder.encode_bit`."""
         p = probs[index]
         bound = (self.range >> _PROB_BITS) * p
@@ -125,10 +134,22 @@ class RangeCoderCodec(Codec):
         if order not in (0, 1):
             raise ValueError("order must be 0 or 1")
         self.order = order
+        # Persistent probability-model storage, reused across calls.
+        # Sized for the order-1 case (256 contexts x 256 tree nodes,
+        # 256 KiB) because :meth:`decompress` honors the *stream's*
+        # order byte, not the constructor's.  Each call memsets its
+        # slice back to ``_PROB_INIT`` -- replacing the 256x256 nested
+        # Python lists that used to be rebuilt per call, which dominated
+        # setup cost on block-sized inputs.  Probabilities are 11-bit,
+        # so ``uint32`` never narrows the shift-5 update arithmetic.
+        self._model_buf = np.empty(256 * 256, dtype=np.uint32)
 
-    def _fresh_models(self) -> list[list[int]]:
-        n_contexts = 256 if self.order == 1 else 1
-        return [[_PROB_INIT] * 256 for _ in range(n_contexts)]
+    def _reset_models(self, order: int) -> np.ndarray:
+        """Reset and return the model slice for ``order`` contexts."""
+        n_contexts = 256 if order == 1 else 1
+        models = self._model_buf[: n_contexts * 256]
+        models.fill(_PROB_INIT)
+        return models
 
     def compress(self, data: bytes) -> bytes:
         """Compress ``data`` into a self-describing stream (Codec API)."""
@@ -137,18 +158,22 @@ class RangeCoderCodec(Codec):
         out.append(self.order)
         if not data:
             return bytes(out)
-        models = self._fresh_models()
+        models = self._reset_models(self.order)
         enc = RangeEncoder()
         prev = 0
         order = self.order
-        for byte in data:
-            probs = models[prev if order else 0]
-            ctx = 1
-            for shift in range(7, -1, -1):
-                bit = (byte >> shift) & 1
-                enc.encode_bit(probs, ctx, bit)
-                ctx = (ctx << 1) | bit
-            prev = byte
+        # A memoryview over the uint32 buffer indexes to plain Python
+        # ints (no NumPy scalar per bit), keeping the serial bit loop
+        # at list speed while the storage stays preallocated.
+        with memoryview(models) as flat:
+            for byte in data:
+                probs = flat[prev << 8 : (prev + 1) << 8] if order else flat
+                ctx = 1
+                for shift in range(7, -1, -1):
+                    bit = (byte >> shift) & 1
+                    enc.encode_bit(probs, ctx, bit)
+                    ctx = (ctx << 1) | bit
+                prev = byte
         out += enc.flush()
         return bytes(out)
 
@@ -163,18 +188,17 @@ class RangeCoderCodec(Codec):
         pos += 1
         if n == 0:
             return b""
-        models = (
-            [[_PROB_INIT] * 256 for _ in range(256 if order else 1)]
-        )
+        models = self._reset_models(order)
         dec = RangeDecoder(data[pos:])
         out = bytearray()
         prev = 0
-        for _ in range(n):
-            probs = models[prev if order else 0]
-            ctx = 1
-            for _ in range(8):
-                ctx = (ctx << 1) | dec.decode_bit(probs, ctx)
-            byte = ctx & 0xFF
-            out.append(byte)
-            prev = byte
+        with memoryview(models) as flat:
+            for _ in range(n):
+                probs = flat[prev << 8 : (prev + 1) << 8] if order else flat
+                ctx = 1
+                for _ in range(8):
+                    ctx = (ctx << 1) | dec.decode_bit(probs, ctx)
+                byte = ctx & 0xFF
+                out.append(byte)
+                prev = byte
         return bytes(out)

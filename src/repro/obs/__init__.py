@@ -46,6 +46,7 @@ from repro.obs.trace import (
     record_span,
     recorder,
     span,
+    stage_span,
     traced,
 )
 
@@ -64,6 +65,7 @@ __all__ = [
     "registry",
     "recorder",
     "span",
+    "stage_span",
     "traced",
     "record_span",
     "metrics",

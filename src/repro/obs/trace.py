@@ -43,6 +43,7 @@ __all__ = [
     "TraceRecorder",
     "recorder",
     "span",
+    "stage_span",
     "traced",
     "record_span",
 ]
@@ -240,6 +241,22 @@ def span(name: str, **meta) -> _LiveSpan | _NullSpan:
     if not STATE.enabled:
         return _NULL_SPAN
     return _LiveSpan(name, meta)
+
+
+def stage_span(codec: str, stage: str) -> _LiveSpan | _NullSpan:
+    """Span for one entropy-coder stage, named ``codec.<codec>.<stage>``.
+
+    The stage split (tokenize / huffman / mtf / ...) shows up as its own
+    row in the ``primacy stats`` stage table, alongside the whole-codec
+    ``codec.compress`` spans.  The name f-string only materializes when
+    observability is on, so per-block codec loops pay the usual single
+    flag check while it is off.
+    """
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(
+        f"codec.{codec}.{stage}", {"codec": codec, "stage": stage}
+    )
 
 
 def traced(name: str | None = None):

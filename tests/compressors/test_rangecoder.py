@@ -102,3 +102,36 @@ class TestCodec:
                 codec.decompress(bytes(corrupted))
             except (CodecError, ValueError):
                 pass
+
+
+class TestModelReuse:
+    """The persistent uint32 model buffer must never leak state."""
+
+    def test_repeat_compress_is_deterministic(self):
+        codec = RangeCoderCodec()
+        data = b"state leak canary " * 64
+        first = codec.compress(data)
+        # Interleave other work through the same instance, then repeat.
+        codec.decompress(codec.compress(bytes(range(256)) * 8))
+        assert codec.compress(data) == first
+
+    def test_matches_fresh_instance(self):
+        veteran = RangeCoderCodec(order=1)
+        for chunk in (b"warmup" * 100, b"\x00" * 4096, b"xyz" * 333):
+            veteran.decompress(veteran.compress(chunk))
+        data = bytes(np.random.default_rng(11).integers(0, 256, 2048, dtype=np.uint8))
+        assert veteran.compress(data) == RangeCoderCodec(order=1).compress(data)
+
+    def test_decompress_honors_stream_order(self):
+        # An order-0 instance must still decode an order-1 stream (the
+        # order byte travels with the stream), exercising the larger
+        # model slice on the smaller instance.
+        data = b"order mismatch " * 50
+        blob = RangeCoderCodec(order=1).compress(data)
+        assert RangeCoderCodec(order=0).decompress(blob) == data
+
+    def test_buffer_is_reused(self):
+        codec = RangeCoderCodec()
+        buf = codec._model_buf
+        codec.decompress(codec.compress(b"hold that buffer" * 30))
+        assert codec._model_buf is buf
