@@ -7,6 +7,12 @@ achievable ratios and throughputs, and can answer the deployment question
 through the Sec-III model: given this machine's network rate, does
 compression raise or lower end-to-end throughput?
 
+The model inputs are all *measured* on the sample: the :math:`\\alpha`
+fractions and :math:`\\sigma` ratios come from the pipeline's own
+:class:`~repro.core.PrimacyStats`, and the preconditioner / entropy-coder
+stages are timed separately (``prec_seconds`` / ``codec_seconds`` per
+chunk) instead of scaling one end-to-end figure by magic constants.
+
 Typical use inside a writer::
 
     probe = estimate_compressibility(data)
@@ -28,7 +34,13 @@ __all__ = ["CompressibilityProbe", "estimate_compressibility"]
 
 @dataclass(frozen=True)
 class CompressibilityProbe:
-    """Sampled compressibility estimates for one dataset."""
+    """Sampled compressibility estimates for one dataset.
+
+    ``alpha1`` / ``alpha2`` / ``sigma_ho`` / ``sigma_lo`` are the paper's
+    Table-I fractions measured on the sample (``sigma_ho`` includes the
+    per-chunk index metadata); ``preconditioner_mbps`` /
+    ``compressor_mbps`` are the separately timed pipeline stages.
+    """
 
     sample_bytes: int
     vanilla_ratio: float
@@ -36,6 +48,11 @@ class CompressibilityProbe:
     primacy_ratio: float
     primacy_mbps: float
     alpha2: float
+    alpha1: float
+    sigma_ho: float
+    sigma_lo: float
+    preconditioner_mbps: float
+    compressor_mbps: float
 
     @property
     def best_ratio(self) -> float:
@@ -61,12 +78,12 @@ class CompressibilityProbe:
             rho=rho,
             network_bps=network_bps,
             disk_write_bps=disk_write_bps or network_bps,
-            preconditioner_bps=max(self.primacy_mbps, 1e-6) * 4e6,
-            compressor_bps=max(self.primacy_mbps, 1e-6) * 1e6,
-            alpha1=1.0,
-            alpha2=0.0,
-            sigma_ho=1.0 / max(self.primacy_ratio, 1e-9),
-            sigma_lo=1.0,
+            preconditioner_bps=max(self.preconditioner_mbps, 1e-6) * 1e6,
+            compressor_bps=max(self.compressor_mbps, 1e-6) * 1e6,
+            alpha1=self.alpha1,
+            alpha2=self.alpha2,
+            sigma_ho=self.sigma_ho,
+            sigma_lo=self.sigma_lo,
         )
         base = predict_base_write(inputs).throughput_bps(inputs)
         compressed = predict_compressed_write(inputs).throughput_bps(inputs)
@@ -103,20 +120,47 @@ def estimate_compressibility(
         primacy_ratio=len(sample) / len(p_out),
         primacy_mbps=mb / p_time if p_time > 0 else float("inf"),
         alpha2=stats.alpha2,
+        alpha1=stats.alpha1,
+        sigma_ho=stats.sigma_ho,
+        sigma_lo=stats.sigma_lo,
+        preconditioner_mbps=stats.preconditioner_mbps,
+        compressor_mbps=stats.compressor_mbps,
     )
 
 
+#: Number of disjoint pieces a strided sample is assembled from.
+_SAMPLE_PIECES = 16
+
+
 def _strided_sample(data: bytes, sample_bytes: int) -> bytes:
-    """Word-aligned strided sample covering the whole stream."""
+    """Word-aligned strided sample covering the whole stream.
+
+    The sample is assembled from up to :data:`_SAMPLE_PIECES` disjoint,
+    word-aligned runs spread evenly across the stream, totalling the
+    word-aligned sample budget exactly.  Streams too small to stride
+    (budget >= stream, or gaps would round to zero) fall back to a
+    contiguous prefix -- never overlapping or repeated pieces, which
+    would present self-similar data and inflate ratio estimates.
+    """
     if len(data) <= sample_bytes:
         return data
-    n_pieces = 16
-    piece = (sample_bytes // n_pieces) & ~7
-    if piece == 0:
+    total_words = len(data) // 8
+    want_words = min(sample_bytes // 8, total_words)
+    if want_words <= 0:
         return data[:sample_bytes]
-    stride = (len(data) - piece) // (n_pieces - 1)
-    stride -= stride % 8  # keep pieces word-aligned
-    parts = [
-        data[i * stride : i * stride + piece] for i in range(n_pieces)
-    ]
+    run = want_words // _SAMPLE_PIECES
+    gap = (total_words - want_words) // _SAMPLE_PIECES
+    if run == 0 or gap == 0:
+        # Too small to stride: a contiguous word-aligned prefix.
+        return data[: want_words * 8]
+    # The first ``rem`` runs carry one extra word so the runs sum to the
+    # budget exactly; each run is followed by a ``gap``-word hole, which
+    # keeps every piece disjoint and the last one in bounds.
+    rem = want_words % _SAMPLE_PIECES
+    parts = []
+    start = 0
+    for i in range(_SAMPLE_PIECES):
+        words = run + (1 if i < rem else 0)
+        parts.append(data[start * 8 : (start + words) * 8])
+        start += words + gap
     return b"".join(parts)

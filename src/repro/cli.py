@@ -78,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_worker_count, default=1, metavar="N",
         help="compress chunks with N worker processes (default: serial)",
     )
+    p.add_argument(
+        "--auto", action="store_true",
+        help="probe each chunk and pick codec/split/linearization "
+        "per chunk (ignores --codec/--high-bytes/--linearization)",
+    )
+    p.add_argument(
+        "--network-mbps", type=float, default=4.0, metavar="THETA",
+        help="--auto only: target transfer rate the planner optimizes "
+        "end-to-end throughput against (default: 4)",
+    )
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a .pri container")
@@ -128,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=_worker_count, default=1, metavar="N",
         help="overlap chunk compression with file writes using N workers",
+    )
+    p.add_argument(
+        "--auto", action="store_true",
+        help="probe each chunk and pick codec/split/linearization "
+        "per chunk (ignores --codec)",
+    )
+    p.add_argument(
+        "--network-mbps", type=float, default=4.0, metavar="THETA",
+        help="--auto only: target transfer rate the planner optimizes "
+        "end-to-end throughput against (default: 4)",
     )
     p.set_defaults(func=_cmd_pack)
 
@@ -307,8 +327,44 @@ def _make_config(args: argparse.Namespace) -> PrimacyConfig:
     )
 
 
+def _planner_config(args: argparse.Namespace) -> "object":
+    from repro.planner import PlannerConfig
+
+    return PlannerConfig(
+        base=PrimacyConfig(chunk_bytes=args.chunk_bytes),
+        network_mbps=args.network_mbps,
+    )
+
+
+def _print_decisions(decisions) -> None:
+    from repro.planner import overhead_fraction
+
+    counts: dict[str, int] = {}
+    for d in decisions:
+        counts[d.candidate.label] = counts.get(d.candidate.label, 0) + 1
+    picks = "  ".join(
+        f"{label}:{n}" for label, n in sorted(counts.items())
+    )
+    print(f"planner:   {picks}  "
+          f"(probe overhead {overhead_fraction(decisions):.1%})")
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = args.input.read_bytes()
+    if args.auto:
+        from repro.planner import PlannedCompressor
+
+        workers = args.workers if args.workers > 1 else 1
+        with PlannedCompressor(_planner_config(args), workers=workers) as pc:
+            out, stats = pc.compress(data)
+            decisions = pc.last_decisions
+        args.output.write_bytes(out)
+        print(
+            f"{len(data)} -> {len(out)} bytes  "
+            f"CR={stats.compression_ratio:.3f}  chunks={len(stats.chunks)}"
+        )
+        _print_decisions(decisions)
+        return 0
     config = _make_config(args)
     if args.workers > 1:
         from repro.parallel import ParallelCompressor
@@ -392,6 +448,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"word/high:   {cfg.word_bytes}/{cfg.high_bytes} bytes")
         print(f"chunk size:  {cfg.chunk_bytes}")
         print(f"policy:      {cfg.index_policy.value}")
+        print(f"planned:     {'yes' if reader.info.planned else 'no'}")
         print(f"values:      {reader.n_values}")
         print(f"chunks:      {reader.n_chunks}")
         print(f"{'id':>4s} {'offset':>10s} {'bytes':>9s} {'values':>9s} "
@@ -418,13 +475,27 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.storage import PrimacyFileWriter
 
+    data = args.input.read_bytes()
+    workers = args.workers if args.workers > 1 else None
+    if args.auto:
+        if IndexReusePolicy(args.index_policy) is not IndexReusePolicy.PER_CHUNK:
+            print("error: --auto requires --index-policy per-chunk",
+                  file=sys.stderr)
+            return 2
+        with PrimacyFileWriter(
+            args.output, planner=_planner_config(args), workers=workers
+        ) as writer:
+            writer.write(data)
+        stats = writer.stats
+        print(f"{len(data)} -> {stats.container_bytes} bytes  "
+              f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}")
+        _print_decisions(writer.decisions)
+        return 0
     config = PrimacyConfig(
         codec=args.codec,
         chunk_bytes=args.chunk_bytes,
         index_policy=IndexReusePolicy(args.index_policy),
     )
-    data = args.input.read_bytes()
-    workers = args.workers if args.workers > 1 else None
     with PrimacyFileWriter(args.output, config, workers=workers) as writer:
         writer.write(data)
     stats = writer.stats
@@ -442,7 +513,12 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     print(f"vanilla zlib-like:  CR={probe.vanilla_ratio:.3f} "
           f"@ {probe.vanilla_mbps:.2f} MB/s")
     print(f"PRIMACY:            CR={probe.primacy_ratio:.3f} "
-          f"@ {probe.primacy_mbps:.2f} MB/s (alpha2={probe.alpha2:.2f})")
+          f"@ {probe.primacy_mbps:.2f} MB/s")
+    print(f"stages:             preconditioner {probe.preconditioner_mbps:.2f} "
+          f"MB/s, entropy {probe.compressor_mbps:.2f} MB/s")
+    print(f"model params:       alpha1={probe.alpha1:.3f} "
+          f"alpha2={probe.alpha2:.3f} sigma_ho={probe.sigma_ho:.3f} "
+          f"sigma_lo={probe.sigma_lo:.3f}")
     print(f"hard-to-compress:   {'yes' if probe.hard_to_compress else 'no'}")
     if args.network_mbps is not None:
         verdict = probe.recommend(

@@ -23,13 +23,22 @@ Design notes (pure-Python throughput):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.compressors.base import CodecError
 
-__all__ = ["MIN_MATCH", "TokenStream", "tokenize", "reassemble"]
+__all__ = [
+    "MIN_MATCH",
+    "ParseStats",
+    "TokenStream",
+    "collect_parse_stats",
+    "reassemble",
+    "tokenize",
+]
 
 MIN_MATCH = 4
 _HASH_BITS = 16
@@ -87,6 +96,47 @@ def _hash_positions(data: bytes) -> list[int]:
     return _hash_array(data).tolist()
 
 
+@dataclass
+class ParseStats:
+    """Deterministic operation counts of one or more LZ77 parses.
+
+    ``work`` is a composite count of the parse's data-dependent search
+    operations: outer-loop steps, hash-chain walk steps, 16-byte
+    match-extension compares, and in-match hash-seeding steps.  It is a
+    pure function of the input bytes (no clocks), which is what lets the
+    adaptive planner turn it into a *reproducible* speed estimate for
+    the ``pyzlib`` codec -- wall-clock probe timings would make planned
+    archive bytes machine- and run-dependent.
+    """
+
+    work: int = 0
+    literal_bytes: int = 0
+    match_bytes: int = 0
+    input_bytes: int = 0
+
+
+_active_stats: ParseStats | None = None
+
+
+@contextmanager
+def collect_parse_stats() -> Iterator[ParseStats]:
+    """Accumulate :class:`ParseStats` over every parse in the block.
+
+    Counting runs a dedicated instrumented copy of the parse loop, so
+    code outside a collection block pays nothing.  The instrumented
+    parse emits bit-identical token streams (enforced by the test
+    suite); only the counters differ.
+    """
+    global _active_stats
+    stats = ParseStats()
+    prev = _active_stats
+    _active_stats = stats
+    try:
+        yield stats
+    finally:
+        _active_stats = prev
+
+
 def _match_length(data: bytes, a: int, b: int, max_len: int) -> int:
     """Length of the common prefix of ``data[a:]`` and ``data[b:]``."""
     l = 0
@@ -122,6 +172,15 @@ def tokenize(
         next position; if it holds a strictly longer match, emit one
         literal and take that one instead.  Better ratio, slower parse.
     """
+    if _active_stats is not None:
+        return _tokenize_counted(
+            data,
+            _active_stats,
+            max_chain=max_chain,
+            min_match=min_match,
+            skip_trigger=skip_trigger,
+            lazy=lazy,
+        )
     if min_match < MIN_MATCH:
         raise ValueError(f"min_match must be >= {MIN_MATCH}")
     n = len(data)
@@ -215,6 +274,121 @@ def tokenize(
         n,
     )
     return stream
+
+
+def _tokenize_counted(
+    data: bytes,
+    stats: ParseStats,
+    *,
+    max_chain: int,
+    min_match: int,
+    skip_trigger: int,
+    lazy: bool,
+) -> TokenStream:
+    """Instrumented twin of :func:`tokenize` (see collect_parse_stats).
+
+    MUST stay in lockstep with the plain parse loop above: same
+    candidate walk, same skip accelerator, same lazy deferral.  The test
+    suite asserts bit-identical token streams across both paths.
+    """
+    if min_match < MIN_MATCH:
+        raise ValueError(f"min_match must be >= {MIN_MATCH}")
+    n = len(data)
+    empty = np.zeros(0, dtype=np.int64)
+    if n < min_match:
+        stats.input_bytes += n
+        stats.literal_bytes += n
+        return TokenStream(
+            np.array([n], dtype=np.int64), empty, empty, bytes(data), n
+        )
+
+    hashes = _hash_positions(data)
+    n_hash = len(hashes)
+    head = [-1] * _HASH_SIZE
+    prev = [-1] * n_hash
+
+    lit_runs: list[int] = []
+    match_lens: list[int] = []
+    match_dists: list[int] = []
+    literal_spans: list[tuple[int, int]] = []
+    work = 0
+
+    def _search(pos: int, cand: int, threshold: int) -> tuple[int, int]:
+        nonlocal work
+        best_len = threshold
+        best_pos = -1
+        depth = max_chain
+        max_len = n - pos
+        while cand >= 0 and depth > 0:
+            work += 1
+            if (
+                pos + best_len < n
+                and data[cand + best_len] == data[pos + best_len]
+            ):
+                l = _match_length(data, cand, pos, max_len)
+                work += l >> 4
+                if l > best_len:
+                    best_len = l
+                    best_pos = cand
+                    if l >= max_len:
+                        break
+            cand = prev[cand]
+            depth -= 1
+        return best_len, best_pos
+
+    i = 0
+    lit_start = 0
+    miss = 0
+    limit = n - min_match
+    while i <= limit:
+        work += 1
+        hv = hashes[i]
+        cand = head[hv]
+        prev[i] = cand
+        head[hv] = i
+
+        best_len, best_pos = _search(i, cand, min_match - 1)
+
+        if best_pos >= 0 and lazy and i + 1 <= limit:
+            peek_len, peek_pos = _search(i + 1, head[hashes[i + 1]], best_len)
+            if peek_pos >= 0 and peek_len > best_len:
+                miss = 0
+                i += 1
+                continue
+
+        if best_pos >= 0:
+            lit_runs.append(i - lit_start)
+            literal_spans.append((lit_start, i))
+            match_lens.append(best_len)
+            match_dists.append(i - best_pos)
+            end = i + best_len
+            stop = min(end, n_hash, i + 4096)
+            work += max(stop - (i + 1), 0)
+            for j in range(i + 1, stop):
+                hj = hashes[j]
+                prev[j] = head[hj]
+                head[hj] = j
+            i = end
+            lit_start = end
+            miss = 0
+        else:
+            miss += 1
+            i += 1 + (miss >> skip_trigger)
+
+    lit_runs.append(n - lit_start)
+    literal_spans.append((lit_start, n))
+    literals = b"".join(data[s:e] for s, e in literal_spans)
+    stats.input_bytes += n
+    stats.literal_bytes += len(literals)
+    stats.match_bytes += n - len(literals)
+    stats.work += work
+    return TokenStream(
+        np.asarray(lit_runs, dtype=np.int64),
+        np.asarray(match_lens, dtype=np.int64),
+        np.asarray(match_dists, dtype=np.int64),
+        literals,
+        n,
+    )
 
 
 def reassemble(stream: TokenStream) -> bytes:

@@ -83,6 +83,10 @@ _VERSION = 1
 _FLAG_CHECKSUM = 0x01
 _FLAG_BIT_ISOBAR = 0x02
 _CHUNK_FLAG_INLINE_INDEX = 0x01
+#: Record flags bit marking a *planned* record: a standard record
+#: wrapped in a per-chunk pipeline header (:mod:`repro.planner.record`).
+#: Plain records only ever use bit 0x01, so the bit is unambiguous.
+_CHUNK_FLAG_PLANNED = 0x02
 
 
 @dataclass(frozen=True)
@@ -802,18 +806,30 @@ class PrimacyCompressor:
         # not whatever IndexError/struct noise the damage provokes.
         try:
             t0 = time.perf_counter() if _OBS_STATE.enabled else 0.0
-            chunk, index = PrimacyCompressor._decode_record(
-                record,
-                mapper,
-                partitioner,
-                codec,
-                word_bytes,
-                high_bytes,
-                linearization,
-                use_checksum,
-                current_index,
-                arena,
-            )
+            if not record:
+                raise TruncationError("empty chunk record")
+            if record[0] & _CHUNK_FLAG_PLANNED:
+                # A planned record carries its own pipeline knobs; the
+                # import is deferred because repro.planner builds on
+                # this module.
+                from repro.planner.record import decode_planned_record
+
+                chunk, index = decode_planned_record(
+                    record, word_bytes, use_checksum, arena=arena
+                )
+            else:
+                chunk, index = PrimacyCompressor._decode_record(
+                    record,
+                    mapper,
+                    partitioner,
+                    codec,
+                    word_bytes,
+                    high_bytes,
+                    linearization,
+                    use_checksum,
+                    current_index,
+                    arena,
+                )
             if _OBS_STATE.enabled:
                 seconds = time.perf_counter() - t0
                 reg = _obs_metrics.registry()
@@ -942,6 +958,15 @@ def chunk_record_index_section(
         if not record:
             raise TruncationError("empty chunk record")
         flags = record[0]
+        if flags & _CHUNK_FLAG_PLANNED:
+            # Planned records carry their own split width; parse the
+            # wrapper and recurse into the inner record with it.
+            from repro.planner.record import parse_planned_header
+
+            _codec, inner_high, _lin, pos = parse_planned_header(record)
+            return chunk_record_index_section(
+                bytes(record[pos:]), inner_high
+            )
         pos = 1
         n_values, pos = decode_uvarint(record, pos)
         if flags & _CHUNK_FLAG_INLINE_INDEX:

@@ -45,6 +45,11 @@ import warnings
 from collections import deque
 from multiprocessing import get_context, resource_tracker
 from multiprocessing.shared_memory import SharedMemory
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.planner.candidates import PlannerConfig
+    from repro.planner.planner import ChunkPlanner
 
 from repro.compressors.base import CodecError
 from repro.core.kernels import ScratchArena
@@ -58,6 +63,7 @@ from repro.util.buffers import as_view
 __all__ = [
     "KIND_COMPRESS",
     "KIND_DECOMPRESS",
+    "KIND_PLAN_COMPRESS",
     "EngineError",
     "PoolStats",
     "ParallelEngine",
@@ -65,6 +71,7 @@ __all__ = [
 
 KIND_COMPRESS = "compress"
 KIND_DECOMPRESS = "decompress"
+KIND_PLAN_COMPRESS = "plan-compress"
 
 #: Payloads below this size are cheaper to pickle through the task queue
 #: than to stage through a shared-memory segment.
@@ -215,8 +222,10 @@ class PoolStats:
 
 
 def _compressor_for(
-    cache: list, config: PrimacyConfig, arena: ScratchArena | None = None
-) -> PrimacyCompressor:
+    cache: list,
+    config: "PrimacyConfig | PlannerConfig",
+    arena: ScratchArena | None = None,
+) -> "PrimacyCompressor | ChunkPlanner":
     """Linear-scan compressor cache (configs are few and dict-bearing,
     hence unhashable).
 
@@ -228,13 +237,23 @@ def _compressor_for(
     for cfg, comp in cache:
         if cfg == config:
             return comp
-    comp = PrimacyCompressor(config, arena=arena)
+    if isinstance(config, PrimacyConfig):
+        comp = PrimacyCompressor(config, arena=arena)
+    else:
+        # A planner config (duck-typed to avoid importing the planner in
+        # every worker that never plans): same compress_chunk interface,
+        # candidate sweep runs right here in the worker.
+        from repro.planner.planner import ChunkPlanner
+
+        comp = ChunkPlanner(config, arena=arena)
     cache.append((config, comp))
     return comp
 
 
 def _execute(
-    compressor: PrimacyCompressor, kind: str, data: bytes | memoryview
+    compressor: "PrimacyCompressor | ChunkPlanner",
+    kind: str,
+    data: bytes | memoryview,
 ):
     if kind == KIND_COMPRESS:
         record, stats, _ = compressor.compress_chunk(data)
@@ -242,6 +261,9 @@ def _execute(
     if kind == KIND_DECOMPRESS:
         chunk, _ = compressor.decompress_chunk(bytes(data))
         return chunk, len(chunk)
+    if kind == KIND_PLAN_COMPRESS:
+        record, stats, decision = compressor.compress_chunk(data)
+        return (record, stats, decision), len(record)
     raise ValueError(f"unknown task kind {kind!r}")
 
 
@@ -595,7 +617,12 @@ class ParallelEngine:
 
     # -- task submission / collection ----------------------------------
 
-    def run_inline(self, kind: str, data, config: PrimacyConfig | None = None):
+    def run_inline(
+        self,
+        kind: str,
+        data,
+        config: "PrimacyConfig | PlannerConfig | None" = None,
+    ):
         """Execute one task synchronously in the calling process."""
         comp = _compressor_for(
             self._local_compressors, config or self.config, self._local_arena
@@ -606,7 +633,12 @@ class ParallelEngine:
         self.stats.inc("completed")
         return result
 
-    def submit(self, kind: str, data, config: PrimacyConfig | None = None) -> int:
+    def submit(
+        self,
+        kind: str,
+        data,
+        config: "PrimacyConfig | PlannerConfig | None" = None,
+    ) -> int:
         """Queue one task; returns its id (collect with :meth:`pop`).
 
         The caller's buffer is published before returning, so it may be
@@ -712,7 +744,12 @@ class ParallelEngine:
                     ) from None
         self._absorb(item)
 
-    def map_ordered(self, kind: str, buffers, config: PrimacyConfig | None = None):
+    def map_ordered(
+        self,
+        kind: str,
+        buffers,
+        config: "PrimacyConfig | PlannerConfig | None" = None,
+    ):
         """Yield results for ``buffers`` in order, windowed by ``max_pending``.
 
         Submission runs at most ``max_pending`` tasks ahead of the

@@ -1,0 +1,160 @@
+"""Candidate pipeline configurations and the planner configuration.
+
+A :class:`Candidate` names the four knobs the planner is allowed to vary
+per chunk -- backend codec, high-order split width, ID-stream
+linearization, and the chunk-kernel backend.  Everything else (chunk
+size, word width, checksum, ISOBAR thresholds) is inherited from the
+base :class:`~repro.core.PrimacyConfig`, so every candidate record stays
+decodable from the per-record planned header plus the container/file
+header alone.
+
+The default candidate set is deliberately small (probe cost is paid per
+chunk per candidate, and a ``pyzlib`` probe costs ~4x a ``pylzo`` probe
+because of its per-record Huffman table construction): the paper's
+default pipeline, the fast dictionary codec under the default and the
+narrow split (the latter wins on smooth exponent streams), and a raw
+passthrough for chunks where no backend earns its compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.idmap import IndexReusePolicy
+from repro.core.linearize import Linearization
+from repro.core.primacy import PrimacyConfig
+
+__all__ = ["Candidate", "PlannerConfig", "DEFAULT_CANDIDATES"]
+
+#: Auto probe size: ``chunk_bytes // _PROBE_DIVISOR`` clamped to
+#: [_PROBE_MIN, _PROBE_MAX] and word-aligned.  Every probe pays a fixed
+#: ~0.3-1.4 ms (entropy-table construction, preconditioner setup at tiny
+#: scale) on top of its per-byte cost, so probes are kept at the 2 KiB
+#: floor until chunks reach megabytes; the cost model's projection
+#: (fixed per-record overhead amortization, see
+#: :data:`repro.planner.cost.STATIC_CODEC_FIXED_OUT`) is what keeps
+#: such small probes honest about full-chunk ratios.
+_PROBE_DIVISOR = 512
+_PROBE_MIN = 2 * 1024
+_PROBE_MAX = 16 * 1024
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the planner's candidate space."""
+
+    codec: str = "pyzlib"
+    high_bytes: int = 2
+    linearization: Linearization = Linearization.COLUMN
+    kernels: str = "fused"
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name (obs labels, CLI summaries)."""
+        lin = "col" if self.linearization is Linearization.COLUMN else "row"
+        tag = f"{self.codec}/hb{self.high_bytes}/{lin}"
+        if self.kernels != "fused":
+            tag += f"/{self.kernels}"
+        return tag
+
+    def config(self, base: PrimacyConfig) -> PrimacyConfig:
+        """Full pipeline configuration: this candidate over ``base``.
+
+        Planned records are always self-contained (inline index), so the
+        index policy is pinned to ``PER_CHUNK`` regardless of ``base``.
+        """
+        return PrimacyConfig(
+            codec=self.codec,
+            chunk_bytes=base.chunk_bytes,
+            word_bytes=base.word_bytes,
+            high_bytes=self.high_bytes,
+            linearization=self.linearization,
+            index_policy=IndexReusePolicy.PER_CHUNK,
+            isobar=base.isobar,
+            isobar_granularity=base.isobar_granularity,
+            checksum=base.checksum,
+            kernels=self.kernels,
+        )
+
+
+DEFAULT_CANDIDATES: tuple[Candidate, ...] = (
+    Candidate(codec="pyzlib", high_bytes=2),
+    Candidate(codec="pylzo", high_bytes=2),
+    Candidate(codec="pylzo", high_bytes=1),
+    Candidate(codec="null", high_bytes=2),
+)
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Configuration of the per-chunk planner.
+
+    Attributes
+    ----------
+    base:
+        Pipeline configuration supplying the knobs candidates do not
+        vary (chunk size, word width, checksum, ISOBAR thresholds).
+        Must use the ``PER_CHUNK`` index policy and byte-granularity
+        ISOBAR (planned records never join reuse chains, and the
+        planned header does not carry a granularity bit).
+    candidates:
+        The candidate space, probed in order; ties score to the earlier
+        candidate, so order is part of the deterministic contract.
+    probe_bytes:
+        Prefix bytes probed per candidate; 0 picks an automatic size
+        from the chunk size (see :meth:`resolved_probe_bytes`).
+    network_mbps / disk_mbps / rho:
+        The deployment point of the cost model: the paper's theta
+        (network rate at the I/O node), mu_w (disk write rate), and
+        compute-to-I/O-node ratio.  ``inf`` disk means "network-bound".
+    calibration:
+        ``"static"`` (default) scores candidates with the committed
+        per-codec throughput table -- decisions depend only on probe
+        *sizes*, so archives are bit-reproducible across runs, worker
+        counts, and machines.  ``"measured"`` uses the probe's own stage
+        timings instead: better tuned to the current machine, but
+        decisions (and therefore archive bytes) are no longer
+        reproducible.
+    """
+
+    base: PrimacyConfig = field(default_factory=PrimacyConfig)
+    candidates: tuple[Candidate, ...] = DEFAULT_CANDIDATES
+    probe_bytes: int = 0
+    network_mbps: float = 4.0
+    disk_mbps: float = float("inf")
+    rho: float = 8.0
+    calibration: str = "static"
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("planner needs at least one candidate")
+        if self.probe_bytes < 0:
+            raise ValueError("probe_bytes must be >= 0")
+        if self.network_mbps <= 0 or self.disk_mbps <= 0 or self.rho <= 0:
+            raise ValueError("network_mbps, disk_mbps and rho must be positive")
+        if self.calibration not in ("static", "measured"):
+            raise ValueError("calibration must be 'static' or 'measured'")
+        if self.base.index_policy is not IndexReusePolicy.PER_CHUNK:
+            raise ValueError(
+                "the planner requires the PER_CHUNK index policy; planned "
+                "records are self-contained and never join reuse chains"
+            )
+        if self.base.isobar_granularity != "byte":
+            raise ValueError(
+                "the planner requires byte-granularity ISOBAR (the planned "
+                "record header does not carry a granularity bit)"
+            )
+        for cand in self.candidates:
+            # Surface impossible candidates at configuration time, not
+            # as a per-chunk failure in a worker process.
+            cand.config(self.base)
+
+    def resolved_probe_bytes(self, chunk_len: int) -> int:
+        """Word-aligned probe size for a ``chunk_len``-byte chunk."""
+        word = self.base.word_bytes
+        if self.probe_bytes:
+            probe = self.probe_bytes
+        else:
+            probe = min(max(chunk_len // _PROBE_DIVISOR, _PROBE_MIN), _PROBE_MAX)
+        probe = min(probe, chunk_len)
+        return max(probe - probe % word, word)

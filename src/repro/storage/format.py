@@ -94,6 +94,7 @@ class FileInfo:
     chunks: tuple[ChunkEntry, ...] = field(default=())
     tail: bytes = b""
     total_bytes: int = 0
+    planned: bool = False  # records may carry per-chunk planner headers
 
     @property
     def n_values(self) -> int:
@@ -101,14 +102,21 @@ class FileInfo:
         return sum(c.n_values for c in self.chunks)
 
 
-def encode_header(config: PrimacyConfig) -> bytes:
-    """Serialize the PRIF header for ``config``."""
+def encode_header(config: PrimacyConfig, planned: bool = False) -> bytes:
+    """Serialize the PRIF header for ``config``.
+
+    ``planned`` marks a file whose records were written by the per-chunk
+    planner: each record is self-describing (see
+    :mod:`repro.planner.record`) and ``config``'s codec / split-width /
+    linearization describe the planner's *base*, not every chunk.
+    """
     out = bytearray()
     out += MAGIC
     out.append(VERSION)
     out.append(
         (1 if config.checksum else 0)
         | (2 if config.linearization is Linearization.ROW else 0)
+        | (4 if planned else 0)
     )
     name = config.codec.encode("ascii")
     out += encode_uvarint(len(name))
@@ -122,8 +130,8 @@ def encode_header(config: PrimacyConfig) -> bytes:
     return bytes(out)
 
 
-def decode_header(data: bytes) -> tuple[PrimacyConfig, int]:
-    """Parse a PRIF header; returns ``(config, next_offset)``.
+def decode_header(data: bytes) -> tuple[PrimacyConfig, int, bool]:
+    """Parse a PRIF header; returns ``(config, next_offset, planned)``.
 
     Raises :class:`TruncationError` when ``data`` is a proper prefix of a
     valid header (callers reading incrementally grow the window on that)
@@ -142,7 +150,7 @@ def decode_header(data: bytes) -> tuple[PrimacyConfig, int]:
             f"unsupported PRIF version {data[4]}", region="header", offset=4
         )
     flags = data[5]
-    if flags & ~0x03:
+    if flags & ~0x07:
         raise CorruptionError(
             f"unknown PRIF header flags 0x{flags:02x}",
             region="header",
@@ -187,7 +195,7 @@ def decode_header(data: bytes) -> tuple[PrimacyConfig, int]:
         raise CorruptionError(
             f"inconsistent PRIF header fields: {exc}", region="header"
         ) from exc
-    return config, pos
+    return config, pos, bool(flags & 4)
 
 
 def encode_footer(chunks: list[ChunkEntry], tail: bytes, total_bytes: int) -> bytes:

@@ -114,7 +114,7 @@ class PrimacyFileReader:
                 "PRIF metadata checksum mismatch (header or footer corrupt)",
                 region="metadata",
             )
-        config, _ = decode_header(header)
+        config, _, planned = decode_header(header)
         chunks, tail, total_bytes = decode_footer(footer)
         self._validate_geometry(chunks, header_len, footer_start, config, tail,
                                 total_bytes)
@@ -123,6 +123,7 @@ class PrimacyFileReader:
             chunks=tuple(chunks),
             tail=tail,
             total_bytes=total_bytes,
+            planned=planned,
         )
         self._header_len = header_len
 
@@ -134,7 +135,7 @@ class PrimacyFileReader:
             fh.seek(0)
             header = fh.read(window)
             try:
-                _, header_len = decode_header(header)
+                _, header_len, _ = decode_header(header)
                 return header, header_len
             except TruncationError:
                 if window >= footer_start:

@@ -417,7 +417,7 @@ def _scan_header(fh, size: int):
         fh.seek(0)
         header = fh.read(min(window, size))
         try:
-            config, header_len = decode_header(header)
+            config, header_len, _planned = decode_header(header)
         except TruncationError:
             if window >= size:
                 raise

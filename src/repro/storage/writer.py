@@ -64,6 +64,14 @@ class PrimacyFileWriter:
     engine:
         Share an existing :class:`repro.parallel.ParallelEngine`
         (e.g. across checkpoint segments); the caller owns its lifetime.
+    planner:
+        A :class:`repro.planner.PlannerConfig` instead of ``config``
+        (mutually exclusive): every chunk is probed across the planner's
+        candidates and written as a self-describing planned record; the
+        header carries the planner's base config plus the *planned*
+        flag.  Per-chunk :class:`repro.planner.Decision` objects
+        accumulate in :attr:`decisions`.  Composes with ``workers=`` --
+        the probe then runs inside the workers.
     durable:
         For path targets (default on): stage bytes in ``<target>.tmp``
         and atomically rename onto ``target`` at :meth:`close` (after
@@ -78,9 +86,17 @@ class PrimacyFileWriter:
         *,
         workers: int | None = None,
         engine=None,
+        planner=None,
         durable: bool = True,
     ) -> None:
-        self.config = config or PrimacyConfig()
+        if planner is not None and config is not None:
+            raise ValueError("pass config= or planner=, not both")
+        self.planner = planner
+        self.decisions: list = []
+        if planner is not None:
+            self.config = planner.base
+        else:
+            self.config = config or PrimacyConfig()
         self._atomic: AtomicFile | None = None
         if isinstance(target, (str, os.PathLike)):
             if durable:
@@ -111,6 +127,7 @@ class PrimacyFileWriter:
         # Persistent for the writer's lifetime, so its ScratchArena is
         # reused across every chunk written through the serial path.
         self._compressor = PrimacyCompressor(self.config)
+        self._planner_inline = None  # lazy ChunkPlanner for serial planning
         self._buffer = bytearray()
         self._chunks: list[ChunkEntry] = []
         self._state = None
@@ -119,7 +136,7 @@ class PrimacyFileWriter:
         self._closed = False
         self.stats = PrimacyStats()
 
-        self._header = encode_header(self.config)
+        self._header = encode_header(self.config, planned=planner is not None)
         self._fh.write(self._header)
         self._pos = len(self._header)
 
@@ -187,19 +204,37 @@ class PrimacyFileWriter:
     def _emit_chunk(self, length: int) -> None:
         """Compress and append the first ``length`` buffered bytes."""
         if self._engine is not None:
-            from repro.parallel.engine import KIND_COMPRESS
+            from repro.parallel.engine import KIND_COMPRESS, KIND_PLAN_COMPRESS
 
             # Publish straight out of the accumulation buffer -- submit
             # copies into shared memory, so the bytes can be dropped as
             # soon as it returns (the view must be released first, or
             # the bytearray refuses to resize).
             with memoryview(self._buffer) as view:
-                task_id = self._engine.submit(
-                    KIND_COMPRESS, view[:length], self.config
-                )
+                if self.planner is not None:
+                    task_id = self._engine.submit(
+                        KIND_PLAN_COMPRESS, view[:length], self.planner
+                    )
+                else:
+                    task_id = self._engine.submit(
+                        KIND_COMPRESS, view[:length], self.config
+                    )
             self._inflight.append(task_id)
             del self._buffer[:length]
             self._drain(self._engine.max_pending)
+            return
+        if self.planner is not None:
+            if self._planner_inline is None:
+                from repro.planner.planner import ChunkPlanner
+
+                self._planner_inline = ChunkPlanner(self.planner)
+            with memoryview(self._buffer) as view:
+                record, chunk_stats, decision = (
+                    self._planner_inline.compress_chunk(view[:length])
+                )
+            del self._buffer[:length]
+            self.decisions.append(decision)
+            self._write_record(record, chunk_stats)
             return
         with memoryview(self._buffer) as view:
             record, chunk_stats, self._state = self._compressor.compress_chunk(
@@ -211,7 +246,12 @@ class PrimacyFileWriter:
     def _drain(self, keep: int) -> None:
         """Write completed records (in order) until ``keep`` remain in flight."""
         while len(self._inflight) > keep:
-            record, chunk_stats = self._engine.pop(self._inflight.popleft())
+            result = self._engine.pop(self._inflight.popleft())
+            if self.planner is not None:
+                record, chunk_stats, decision = result
+                self.decisions.append(decision)
+            else:
+                record, chunk_stats = result
             self._write_record(record, chunk_stats)
 
     def _write_record(self, record: bytes, chunk_stats) -> None:

@@ -1,0 +1,141 @@
+"""Regression tests for the compressibility-probe estimator fixes.
+
+Three historical bugs, each pinned here:
+
+1. ``recommend()`` hardcoded ``alpha1=1.0, alpha2=0.0, sigma_lo=1.0``,
+   discarding the fractions the probe had just measured -- the verdict
+   could not react to how much of the low-order stream ISOBAR decided to
+   compress, nor to how well it compressed.
+2. ``recommend()`` derived the stage rates from one end-to-end figure
+   with magic unit constants (``primacy_mbps * 4e6`` / ``* 1e6``)
+   instead of measuring the preconditioner and entropy stages.
+3. ``_strided_sample`` silently under-filled the budget (each of the 16
+   pieces was rounded down independently, e.g. a 1000-byte budget
+   yielded 896 bytes) and degenerated to a prefix for small budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import estimate_compressibility
+from repro.analysis.probe import _strided_sample, CompressibilityProbe
+
+
+def _probe(alpha2: float, sigma_lo: float) -> CompressibilityProbe:
+    """A probe whose non-varied fields are fixed, plausible measurements."""
+    return CompressibilityProbe(
+        sample_bytes=65536,
+        vanilla_ratio=1.3,
+        vanilla_mbps=2.0,
+        primacy_ratio=1.5,
+        primacy_mbps=5.0,
+        alpha2=alpha2,
+        alpha1=0.25,
+        sigma_ho=0.3,
+        sigma_lo=sigma_lo,
+        preconditioner_mbps=300.0,
+        compressor_mbps=3.0,
+    )
+
+
+class TestRecommendUsesMeasurements:
+    """Bug 1: measured alpha2 / sigma_lo must reach the model."""
+
+    def test_alpha2_flips_recommendation(self):
+        # Same dataset measurements except the ISOBAR low-order compress
+        # fraction.  Compressing 90 % of the low-order stream for zero
+        # gain (sigma_lo=1.0) burns compute; on a fast network that
+        # flips the verdict to WRITE RAW.  With the fractions hardcoded
+        # to alpha2=0 both probes returned the same answer.
+        skip_low = _probe(alpha2=0.0, sigma_lo=1.0)
+        waste_low = _probe(alpha2=0.9, sigma_lo=1.0)
+        assert skip_low.recommend(network_bps=16e6) is True
+        assert waste_low.recommend(network_bps=16e6) is False
+
+    def test_sigma_lo_flips_recommendation(self):
+        # Identical probes except the measured low-order ratio: when the
+        # compressed 90 % actually shrinks (sigma_lo=0.3) the same
+        # pipeline is worth running.  The old code pinned sigma_lo=1.0.
+        shrinks = _probe(alpha2=0.9, sigma_lo=0.3)
+        doesnt = _probe(alpha2=0.9, sigma_lo=1.0)
+        assert shrinks.recommend(network_bps=16e6) is True
+        assert doesnt.recommend(network_bps=16e6) is False
+
+    def test_slow_network_still_compresses(self):
+        # Sanity: on a slow link even the wasteful pipeline wins.
+        assert _probe(alpha2=0.9, sigma_lo=1.0).recommend(network_bps=1e6)
+
+
+class TestMeasuredStageRates:
+    """Bug 2: stage rates are measured, not ``primacy_mbps`` times 4."""
+
+    def test_probe_reports_separate_stage_rates(self):
+        rng = np.random.default_rng(11)
+        data = np.cumsum(rng.normal(0, 1e-6, 32768)).astype("<f8").tobytes()
+        probe = estimate_compressibility(data)
+        assert probe.preconditioner_mbps > 0.0
+        assert probe.compressor_mbps > 0.0
+        # The pure-NumPy preconditioner is orders of magnitude faster
+        # than the pure-Python entropy stage; a 4:1 magic constant could
+        # never have reflected that.
+        assert probe.preconditioner_mbps > probe.compressor_mbps
+        # And the measured fractions are populated from the same run.
+        assert 0.0 < probe.alpha1 <= 1.0
+        assert 0.0 <= probe.alpha2 <= 1.0
+        assert probe.sigma_ho > 0.0
+        assert probe.sigma_lo > 0.0
+
+
+class TestStridedSample:
+    """Bug 3: the sample must fill its budget from disjoint pieces."""
+
+    def test_budget_filled_exactly(self):
+        # 10 KB stream, 1000-byte budget: the old per-piece rounding
+        # returned 896 bytes (10.4 % under budget).
+        data = bytes(range(256)) * 40  # 10240 bytes
+        sample = _strided_sample(data, 1000)
+        assert len(sample) == 1000
+
+    def test_small_budget_prefix_is_word_aligned(self):
+        data = bytes(1024)
+        sample = _strided_sample(data, 120)
+        assert len(sample) == 120
+        assert len(sample) % 8 == 0
+
+    def test_pieces_are_disjoint_and_ordered(self):
+        # Unique strictly-increasing words: any overlap or repeated
+        # piece would show up as a duplicated or out-of-order word.
+        words = np.arange(4096, dtype="<u8")
+        data = words.tobytes()
+        sample = _strided_sample(data, 4096)
+        got = np.frombuffer(sample, dtype="<u8")
+        assert len(got) == 4096 // 8
+        assert np.all(np.diff(got.astype(np.int64)) > 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_words=st.integers(min_value=0, max_value=3000),
+        extra=st.integers(min_value=0, max_value=7),
+        budget=st.integers(min_value=0, max_value=4096),
+    )
+    def test_sample_properties(self, n_words: int, extra: int, budget: int):
+        words = np.arange(n_words, dtype="<u8")
+        data = words.tobytes() + bytes(extra)
+        sample = _strided_sample(data, budget)
+        # Never longer than the input, never longer than the budget
+        # (except the degenerate whole-stream case).
+        assert len(sample) <= len(data)
+        if len(data) > budget:
+            assert len(sample) <= budget
+        # No duplicated pieces: every whole word in the sample is unique
+        # and in stream order.
+        usable = len(sample) - (len(sample) % 8)
+        got = np.frombuffer(sample[:usable], dtype="<u8")
+        got_in_range = got[got < n_words]
+        if len(data) > budget:
+            # A strided or prefix sample is built only of whole words.
+            assert len(got_in_range) == len(got)
+        assert np.all(np.diff(got_in_range.astype(np.int64)) > 0)

@@ -11,6 +11,7 @@ from repro.compressors import CodecError
 from repro.compressors.lz77 import (
     MIN_MATCH,
     TokenStream,
+    collect_parse_stats,
     reassemble,
     tokenize,
 )
@@ -170,3 +171,76 @@ class TestLazyMatching:
     @settings(max_examples=30, deadline=None)
     def test_property_lazy_roundtrip(self, data):
         assert reassemble(tokenize(data, lazy=True)) == data
+
+
+class TestParseStats:
+    """The instrumented parse (collect_parse_stats) vs the plain parse."""
+
+    def _assert_same_stream(self, a, b):
+        assert a.literals == b.literals
+        assert np.array_equal(a.lit_runs, b.lit_runs)
+        assert np.array_equal(a.match_lens, b.match_lens)
+        assert np.array_equal(a.match_dists, b.match_dists)
+        assert a.original_size == b.original_size
+
+    @given(st.binary(max_size=3000), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_property_counted_parse_is_equivalent(self, data, lazy):
+        plain = tokenize(data, lazy=lazy)
+        with collect_parse_stats() as stats:
+            counted = tokenize(data, lazy=lazy)
+        self._assert_same_stream(plain, counted)
+        assert stats.input_bytes == len(data)
+        assert stats.literal_bytes + stats.match_bytes == len(data)
+        assert stats.literal_bytes == len(plain.literals)
+
+    def test_counters_are_deterministic(self):
+        data = (b"abcdabcd" + bytes(range(64))) * 100
+        runs = []
+        for _ in range(2):
+            with collect_parse_stats() as stats:
+                tokenize(data)
+            runs.append(
+                (stats.work, stats.literal_bytes, stats.match_bytes)
+            )
+        assert runs[0] == runs[1]
+        assert runs[0][0] > 0
+
+    def test_counts_accumulate_across_parses(self):
+        with collect_parse_stats() as stats:
+            tokenize(b"mississippi " * 50)
+            tokenize(b"mississippi " * 50)
+        assert stats.input_bytes == 2 * len(b"mississippi " * 50)
+
+    def test_nested_collection_restores_outer(self):
+        with collect_parse_stats() as outer:
+            tokenize(b"abab" * 100)
+            with collect_parse_stats() as inner:
+                tokenize(b"cdcd" * 100)
+            tokenize(b"abab" * 100)
+        assert inner.input_bytes == 400
+        assert outer.input_bytes == 800
+
+    def test_no_counting_outside_block(self):
+        with collect_parse_stats() as stats:
+            pass
+        tokenize(b"mississippi " * 50)
+        assert stats.input_bytes == 0
+
+    def test_tiny_input_counts_as_literals(self):
+        with collect_parse_stats() as stats:
+            tokenize(b"ab")
+        assert stats.input_bytes == 2
+        assert stats.literal_bytes == 2
+        assert stats.work == 0
+
+    def test_compressible_needs_less_work_than_noise(self):
+        rng = np.random.default_rng(11)
+        noise = rng.integers(0, 256, 8192, dtype=np.uint8).tobytes()
+        smooth = (b"abcdefgh" * 1024)[:8192]
+        with collect_parse_stats() as noisy:
+            tokenize(noise)
+        with collect_parse_stats() as easy:
+            tokenize(smooth)
+        assert noisy.literal_bytes > easy.literal_bytes
+        assert easy.match_bytes > noisy.match_bytes

@@ -1,0 +1,38 @@
+"""Shared data fixtures for the planner suite.
+
+Small chunk sizes keep the candidate sweeps fast; the data mixes a
+smooth (highly compressible) region with an incompressible one so the
+planner has a real decision to make per chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.primacy import PrimacyConfig
+from repro.planner import PlannerConfig
+
+CHUNK = 64 * 1024
+
+
+@pytest.fixture(scope="session")
+def smooth_bytes() -> bytes:
+    rng = np.random.default_rng(21)
+    return np.cumsum(rng.normal(0, 1e-6, 3 * CHUNK // 8)).astype("<f8").tobytes()
+
+
+@pytest.fixture(scope="session")
+def random_bytes() -> bytes:
+    rng = np.random.default_rng(22)
+    return rng.integers(0, 256, 3 * CHUNK, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture(scope="session")
+def mixed_bytes(smooth_bytes, random_bytes) -> bytes:
+    return smooth_bytes + random_bytes + b"\x07\x01\x02"  # odd tail
+
+
+@pytest.fixture()
+def planner_config() -> PlannerConfig:
+    return PlannerConfig(base=PrimacyConfig(chunk_bytes=CHUNK))

@@ -1,0 +1,43 @@
+"""CLI ``--auto`` coverage for compress and pack."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestAutoCli:
+    def test_compress_auto_round_trip(self, mixed_bytes, tmp_path, capsys):
+        src = tmp_path / "data.f64"
+        src.write_bytes(mixed_bytes)
+        packed = tmp_path / "data.pri"
+        restored = tmp_path / "data.out"
+        assert main([
+            "compress", str(src), str(packed),
+            "--auto", "--chunk-bytes", "65536",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "planner:" in out
+        assert "probe overhead" in out
+        assert main(["decompress", str(packed), str(restored)]) == 0
+        assert restored.read_bytes() == mixed_bytes
+
+    def test_pack_auto_round_trip(self, mixed_bytes, tmp_path, capsys):
+        src = tmp_path / "data.f64"
+        src.write_bytes(mixed_bytes)
+        packed = tmp_path / "data.prif"
+        assert main([
+            "pack", str(src), str(packed),
+            "--auto", "--chunk-bytes", "65536",
+        ]) == 0
+        assert "planner:" in capsys.readouterr().out
+        assert main(["verify", str(packed)]) == 0
+        assert main(["inspect", str(packed)]) == 0
+        assert "planned:     yes" in capsys.readouterr().out
+
+    def test_pack_auto_rejects_reuse_policy(self, mixed_bytes, tmp_path):
+        src = tmp_path / "data.f64"
+        src.write_bytes(mixed_bytes[:65536])
+        assert main([
+            "pack", str(src), str(tmp_path / "x.prif"),
+            "--auto", "--index-policy", "first_chunk",
+        ]) == 2

@@ -1,0 +1,90 @@
+"""Engine fan-out of planner tasks, and the planner's obs surface."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.primacy import PrimacyCompressor
+from repro.parallel.engine import KIND_PLAN_COMPRESS, ParallelEngine
+from repro.planner import ChunkPlanner, Decision
+
+
+class TestEnginePlanTasks:
+    def test_submit_and_pop(self, mixed_bytes, planner_config):
+        chunk = mixed_bytes[: 64 * 1024]
+        with ParallelEngine(planner_config.base, workers=2) as engine:
+            task = engine.submit(KIND_PLAN_COMPRESS, chunk, planner_config)
+            record, stats, decision = engine.pop(task)
+        assert isinstance(decision, Decision)
+        assert record[0] & 0x02
+        restored, _ = PrimacyCompressor().decompress_chunk(record)
+        assert restored == chunk
+
+    def test_run_inline(self, mixed_bytes, planner_config):
+        chunk = mixed_bytes[: 64 * 1024]
+        with ParallelEngine(planner_config.base, workers=1) as engine:
+            record, stats, decision = engine.run_inline(
+                KIND_PLAN_COMPRESS, chunk, planner_config
+            )
+        assert stats.n_values == len(chunk) // 8
+        assert decision.candidate in planner_config.candidates
+
+    def test_map_ordered_preserves_chunk_order(
+        self, mixed_bytes, planner_config
+    ):
+        chunks = [
+            mixed_bytes[off : off + 65536]
+            for off in range(0, 3 * 65536, 65536)
+        ]
+        with ParallelEngine(planner_config.base, workers=2) as engine:
+            results = list(
+                engine.map_ordered(KIND_PLAN_COMPRESS, chunks, planner_config)
+            )
+        assert len(results) == len(chunks)
+        for chunk, (record, _, _) in zip(chunks, results):
+            restored, _ = PrimacyCompressor().decompress_chunk(record)
+            assert restored == chunk
+
+
+class TestPlannerObs:
+    def setup_method(self):
+        obs.disable()
+        obs.reset()
+
+    def teardown_method(self):
+        obs.disable()
+        obs.reset()
+
+    def test_decision_histogram_and_spans(self, mixed_bytes, planner_config):
+        obs.enable()
+        try:
+            planner = ChunkPlanner(planner_config)
+            for off in (0, 65536):
+                planner.compress_chunk(mixed_bytes[off : off + 65536])
+            snapshot = obs.metrics.registry().snapshot()
+        finally:
+            obs.disable()
+        counters = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in snapshot["counters"]
+        }
+        assert counters[("planner.chunks", ())] == 2
+        assert counters[("planner.probe_seconds", ())] > 0
+        decisions = [
+            (labels, value)
+            for (name, labels), value in counters.items()
+            if name == "planner.decisions"
+        ]
+        assert decisions, sorted(counters)
+        assert sum(value for _, value in decisions) == 2
+        assert any(
+            name == "planner.ratio_est" for name, *_ in snapshot["histograms"]
+        )
+
+    def test_no_metrics_when_disabled(self, mixed_bytes, planner_config):
+        planner = ChunkPlanner(planner_config)
+        planner.compress_chunk(mixed_bytes[:65536])
+        snapshot = obs.metrics.registry().snapshot()
+        assert not any(
+            name.startswith("planner.")
+            for name, *_ in snapshot.get("counters", ())
+        )

@@ -1,0 +1,70 @@
+"""Planned PRIF files: writer ``planner=`` kwarg, reader dispatch."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.primacy import PrimacyConfig
+from repro.storage import PrimacyFileReader, PrimacyFileWriter
+
+
+def _write(data: bytes, planner_config, workers=None) -> tuple[bytes, list]:
+    buf = io.BytesIO()
+    writer = PrimacyFileWriter(buf, planner=planner_config, workers=workers)
+    writer.write(data)
+    writer.close()
+    return buf.getvalue(), writer.decisions
+
+
+class TestPlannedPrif:
+    def test_round_trip_and_planned_flag(self, mixed_bytes, planner_config):
+        blob, decisions = _write(mixed_bytes, planner_config)
+        reader = PrimacyFileReader(io.BytesIO(blob))
+        assert reader.info.planned is True
+        assert reader.read_all() == mixed_bytes
+        assert len(decisions) == reader.n_chunks
+        # Planned chunks are self-contained: every table row is inline.
+        assert all(e.inline_index for e in reader.chunk_entries())
+
+    def test_random_access_across_planned_chunks(
+        self, mixed_bytes, planner_config
+    ):
+        blob, _ = _write(mixed_bytes, planner_config)
+        reader = PrimacyFileReader(io.BytesIO(blob))
+        word = planner_config.base.word_bytes
+        # A window spanning the smooth/random chunk boundary.
+        start, count = 20_000, 5_000
+        got = reader.read_values(start, count)
+        assert got == mixed_bytes[start * word : (start + count) * word]
+
+    def test_pipelined_write_matches_serial(self, mixed_bytes, planner_config):
+        serial, serial_dec = _write(mixed_bytes, planner_config)
+        pipelined, pipelined_dec = _write(mixed_bytes, planner_config, workers=2)
+        assert pipelined == serial
+        assert [d.candidate for d in pipelined_dec] == [
+            d.candidate for d in serial_dec
+        ]
+
+    def test_plain_file_reports_not_planned(self, smooth_bytes):
+        buf = io.BytesIO()
+        with PrimacyFileWriter(buf, PrimacyConfig(chunk_bytes=64 * 1024)) as w:
+            w.write(smooth_bytes)
+        assert PrimacyFileReader(io.BytesIO(buf.getvalue())).info.planned is False
+
+    def test_config_and_planner_are_mutually_exclusive(self, planner_config):
+        with pytest.raises(ValueError):
+            PrimacyFileWriter(
+                io.BytesIO(), PrimacyConfig(), planner=planner_config
+            )
+
+    def test_fsck_accepts_planned_file(self, mixed_bytes, planner_config, tmp_path):
+        from repro.storage.verify import fsck
+
+        path = tmp_path / "planned.prif"
+        writer = PrimacyFileWriter(path, planner=planner_config)
+        writer.write(mixed_bytes)
+        writer.close()
+        report = fsck(path)
+        assert report.ok, report.summary()

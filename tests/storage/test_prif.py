@@ -45,9 +45,17 @@ class TestHeaderFooter:
             index_policy=IndexReusePolicy.CORRELATED,
             checksum=False,
         )
-        decoded, pos = decode_header(encode_header(config))
+        decoded, pos, planned = decode_header(encode_header(config))
         assert decoded == config
         assert pos == len(encode_header(config))
+        assert planned is False
+
+    def test_header_planned_flag_roundtrip(self):
+        config = PrimacyConfig()
+        decoded, pos, planned = decode_header(encode_header(config, planned=True))
+        assert decoded == config
+        assert planned is True
+        assert pos == len(encode_header(config, planned=True))
 
     def test_header_rejects_garbage(self):
         with pytest.raises(CodecError):
