@@ -183,11 +183,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the PL001..PL005 codec-invariant checker over source trees",
+        help="run the codec-invariant checker over source trees "
+        "(PL001..PL005; --deep adds the PL101..PL104 dataflow rules)",
     )
     p.add_argument(
         "paths", type=Path, nargs="*", default=[Path("src")],
         help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--deep", action="store_true",
+        help="also run the CFG/dataflow rules (PL101..PL104): lifecycle "
+        "proofs, fork-safety, encode/decode symmetry, kernel parity",
+    )
+    p.add_argument(
+        "--cache", type=Path, default=None, metavar="FILE",
+        help="with --deep: incremental result cache keyed by file "
+        "content hashes and rule analysis versions",
+    )
+    p.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print RULE's rationale with a minimal bad/good example "
+        "and exit",
     )
     p.add_argument(
         "--format", choices=["text", "json"], default="text",
@@ -571,11 +587,53 @@ def _cmd_salvage(args: argparse.Namespace) -> int:
     return 0 if result.n_recovered else 1
 
 
+def _explain_rule(code: str) -> int:
+    from repro.lint import all_rules, deep_rules
+
+    catalog = {r.code: r for r in all_rules() + deep_rules()}
+    rule = catalog.get(code)
+    if rule is None:
+        known = ", ".join(sorted(catalog))
+        print(f"unknown rule {code!r}; known: {known}", file=sys.stderr)
+        return 2
+
+    def _example(kind: str, fallback: str) -> tuple[str, str]:
+        # Prefer the repo's fixture file (the one the rule's own tests
+        # run against); fall back to the rule's built-in snippet.
+        fixture = Path(
+            f"tests/lint/fixtures/{code.lower()}_{kind}.py"
+        )
+        if fixture.is_file():
+            return str(fixture), fixture.read_text(encoding="utf-8")
+        return "built-in example", fallback
+
+    print(f"{rule.code}: {rule.title}")
+    tier = "deep (--deep)" if rule.code >= "PL100" else "shallow"
+    print(f"tier: {tier}, analysis version {rule.analysis_version}")
+    print()
+    print(rule.rationale)
+    for kind, fallback, label in (
+        ("bad", rule.example_bad, "flagged"),
+        ("good", rule.example_good, "clean"),
+    ):
+        source, text = _example(kind, fallback)
+        if not text:
+            continue
+        print()
+        print(f"--- {label} ({source}) ---")
+        print(text.rstrip("\n"))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
+        CacheStats,
+        LintCache,
         LintError,
         Severity,
         all_rules,
+        deep_lint,
+        deep_rules,
         format_findings_json,
         format_findings_text,
         lint_paths,
@@ -583,8 +641,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    if args.explain is not None:
+        return _explain_rule(args.explain.strip().upper())
+
     if args.list_rules:
-        for rule in all_rules():
+        rules = all_rules() + (deep_rules() if args.deep else [])
+        for rule in rules:
             print(f"{rule.code}  {rule.title}")
             print(f"       {rule.rationale}")
         return 0
@@ -598,12 +660,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline = (
             load_baseline(args.baseline) if args.baseline is not None else None
         )
-        findings = lint_paths(
-            args.paths,
-            select=_codes(args.select),
-            ignore=_codes(args.ignore),
-            baseline=baseline,
-        )
+        if args.deep:
+            stats = CacheStats()
+            findings = deep_lint(
+                args.paths,
+                all_rules() + deep_rules(),
+                baseline=baseline,
+                cache=LintCache(args.cache),
+                select=_codes(args.select),
+                ignore=_codes(args.ignore),
+                stats=stats,
+            )
+            if args.cache is not None:
+                print(stats.summary(), file=sys.stderr)
+        else:
+            findings = lint_paths(
+                args.paths,
+                select=_codes(args.select),
+                ignore=_codes(args.ignore),
+                baseline=baseline,
+            )
     except LintError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,284 @@
+"""Generic worklist dataflow solving over :mod:`repro.lint.cfg` graphs.
+
+A :class:`DataflowProblem` names a direction, a meet operator (union
+for *may* analyses, intersection for *must* analyses), and per-node
+``gen`` / ``kill`` sets; :func:`solve` iterates a worklist to the least
+(may) or greatest (must) fixpoint.  Two classic instances ship here --
+:class:`ReachingDefinitions` and :class:`Liveness` -- both because
+rules use them and because they pin the solver's semantics in tests.
+
+The transfer function is the standard one::
+
+    forward:   OUT[n] = gen(n) | (IN[n] - kill(n)),   IN[n] = meet over preds' OUT
+    backward:  IN[n]  = gen(n) | (OUT[n] - kill(n)),  OUT[n] = meet over succs' IN
+
+For must analyses the meet is set intersection and unvisited neighbors
+start at TOP (the provided ``universe``); boundary nodes (entry for
+forward, both exits for backward) start at ``boundary()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.cfg import CFG, CFGNode
+
+__all__ = [
+    "DataflowProblem",
+    "Solution",
+    "solve",
+    "ReachingDefinitions",
+    "Liveness",
+    "statement_defs",
+    "statement_uses",
+]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """One dataflow analysis: direction, meet, gen/kill, boundary."""
+
+    #: ``"forward"`` or ``"backward"``.
+    direction: str = FORWARD
+    #: ``True`` -> union meet (may analysis); ``False`` -> intersection
+    #: meet (must analysis, requires :meth:`universe`).
+    may: bool = True
+
+    def gen(self, node: CFGNode) -> frozenset:
+        raise NotImplementedError
+
+    def kill(self, node: CFGNode) -> frozenset:
+        raise NotImplementedError
+
+    def boundary(self) -> frozenset:
+        """Value at the boundary nodes (entry / exits)."""
+        return frozenset()
+
+    def universe(self) -> frozenset:
+        """TOP for must analyses (ignored for may analyses)."""
+        return frozenset()
+
+
+class Solution:
+    """Fixpoint result: ``IN`` and ``OUT`` sets per node index."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        inp: dict[int, frozenset],
+        out: dict[int, frozenset],
+    ) -> None:
+        self.cfg = cfg
+        self._in = inp
+        self._out = out
+
+    def entering(self, node: CFGNode) -> frozenset:
+        """Facts holding on entry to ``node``."""
+        return self._in[node.index]
+
+    def leaving(self, node: CFGNode) -> frozenset:
+        """Facts holding on exit from ``node``."""
+        return self._out[node.index]
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> Solution:
+    """Run ``problem`` to fixpoint over ``cfg``."""
+    forward = problem.direction == FORWARD
+    reachable = cfg.reachable()
+    order = cfg.postorder()
+    if forward:
+        order = list(reversed(order))
+
+    if forward:
+        boundary_nodes = {cfg.entry.index}
+        neighbors_in = {
+            n.index: [p for p, _ in n.preds if p in reachable]
+            for n in reachable
+        }
+    else:
+        boundary_nodes = {cfg.exit.index, cfg.raise_exit.index}
+        neighbors_in = {
+            n.index: [s for s, _ in n.succs if s in reachable]
+            for n in reachable
+        }
+
+    top = problem.universe() if not problem.may else frozenset()
+    boundary = problem.boundary()
+    # "input" side = IN for forward, OUT for backward.
+    side_a: dict[int, frozenset] = {}
+    side_b: dict[int, frozenset] = {}
+    for node in reachable:
+        side_a[node.index] = boundary if node.index in boundary_nodes else top
+        side_b[node.index] = top
+
+    index_to_node = {n.index: n for n in reachable}
+    worklist = [n.index for n in order if n in reachable]
+    in_worklist = set(worklist)
+    gen_cache: dict[int, frozenset] = {}
+    kill_cache: dict[int, frozenset] = {}
+
+    while worklist:
+        idx = worklist.pop(0)
+        in_worklist.discard(idx)
+        node = index_to_node[idx]
+
+        if idx not in boundary_nodes:
+            neigh = neighbors_in[idx]
+            if neigh:
+                values = [side_b[p.index] for p in neigh]
+                if problem.may:
+                    merged: frozenset = frozenset().union(*values)
+                else:
+                    merged = values[0]
+                    for value in values[1:]:
+                        merged = merged & value
+                side_a[idx] = merged
+            # No in-edges and not boundary: keep TOP (unreachable-ish
+            # joins) so they never weaken a must analysis.
+
+        if idx not in gen_cache:
+            gen_cache[idx] = frozenset(problem.gen(node))
+            kill_cache[idx] = frozenset(problem.kill(node))
+        new_b = gen_cache[idx] | (side_a[idx] - kill_cache[idx])
+        if new_b != side_b[idx]:
+            side_b[idx] = new_b
+            out_edges = node.succs if forward else node.preds
+            for succ, _ in out_edges:
+                if succ in reachable and succ.index not in in_worklist:
+                    worklist.append(succ.index)
+                    in_worklist.add(succ.index)
+
+    if forward:
+        return Solution(cfg, side_a, side_b)
+    return Solution(cfg, side_b, side_a)
+
+
+# -- def/use extraction --------------------------------------------------
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def statement_defs(stmt: ast.stmt | None) -> frozenset:
+    """Names (re)bound by one statement node."""
+    if stmt is None:
+        return frozenset()
+    names: set[str] = set()
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            stmt.targets
+            if isinstance(stmt, ast.Assign)
+            else [stmt.target]
+        )
+        for target in targets:
+            names.update(_target_names(target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.update(_target_names(item.optional_vars))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.add(stmt.name)
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        names.add(stmt.name)
+    # Walrus targets anywhere in the statement's expressions.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr):
+            names.update(_target_names(node.target))
+    return frozenset(names)
+
+
+def statement_uses(stmt: ast.stmt | None) -> frozenset:
+    """Names read by one statement node (loads only)."""
+    if stmt is None:
+        return frozenset()
+    names: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # Closures are separate frames; a Name inside one is not a
+            # use at this statement for liveness purposes.  (ast.walk
+            # still descends -- accept the imprecision for defaults.)
+            continue
+    return frozenset(names)
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward may-analysis over ``(name, node_index)`` definition sites."""
+
+    direction = FORWARD
+    may = True
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._defs_by_name: dict[str, set[tuple[str, int]]] = {}
+        self._node_defs: dict[int, frozenset] = {}
+        for node in cfg.nodes:
+            defs = frozenset(
+                (name, node.index) for name in statement_defs(node.stmt)
+            )
+            self._node_defs[node.index] = defs
+            for name, idx in defs:
+                self._defs_by_name.setdefault(name, set()).add((name, idx))
+        # Parameters count as definitions at the entry node.
+        args = cfg.func.args
+        param_names = [
+            a.arg
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        ]
+        entry_defs = frozenset(
+            (name, cfg.entry.index) for name in param_names
+        )
+        self._node_defs[cfg.entry.index] = entry_defs
+        for name, idx in entry_defs:
+            self._defs_by_name.setdefault(name, set()).add((name, idx))
+
+    def gen(self, node: CFGNode) -> frozenset:
+        return self._node_defs[node.index]
+
+    def kill(self, node: CFGNode) -> frozenset:
+        killed: set[tuple[str, int]] = set()
+        for name, _ in self._node_defs[node.index]:
+            killed |= self._defs_by_name.get(name, set())
+        return frozenset(killed) - self._node_defs[node.index]
+
+
+class Liveness(DataflowProblem):
+    """Backward may-analysis over live variable names."""
+
+    direction = BACKWARD
+    may = True
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    def gen(self, node: CFGNode) -> frozenset:
+        return statement_uses(node.stmt)
+
+    def kill(self, node: CFGNode) -> frozenset:
+        # A node both using and defining a name (x = x + 1) must keep
+        # the use: gen wins because gen is applied after the kill.
+        return statement_defs(node.stmt)

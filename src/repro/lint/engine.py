@@ -24,10 +24,13 @@ smell the next reader cannot audit.
 Baselines
 ---------
 A baseline is a JSON file of finding *fingerprints* (stable hashes of
-``path:rule:message`` -- no line numbers, so unrelated edits do not
-invalidate it).  Findings present in the baseline are demoted to
-warnings: new rules can land warn-only against the existing tree and be
-promoted to errors by deleting entries.
+``path:rule:v<analysis_version>:message`` -- no line numbers, so
+unrelated edits do not invalidate it).  Findings present in the
+baseline are demoted to warnings: new rules can land warn-only against
+the existing tree and be promoted to errors by deleting entries.  The
+rule's ``analysis_version`` is part of the hash, so *tightening one
+rule* (bumping its version) invalidates exactly that rule's baseline
+entries and nobody else's.
 """
 
 from __future__ import annotations
@@ -50,6 +53,9 @@ __all__ = [
     "ModuleContext",
     "Rule",
     "lint_paths",
+    "load_module",
+    "check_modules",
+    "apply_baseline",
     "load_baseline",
     "write_baseline",
     "format_findings_text",
@@ -83,11 +89,17 @@ class Finding:
     line: int
     col: int
     severity: Severity = Severity.ERROR
+    #: The producing rule's analysis version; part of the fingerprint,
+    #: so bumping a rule's version invalidates only its baseline entries.
+    analysis_version: int = 1
 
     @property
     def fingerprint(self) -> str:
         """Stable identity for baselines (line-number independent)."""
-        raw = f"{self.path}:{self.rule}:{self.message}".encode()
+        raw = (
+            f"{self.path}:{self.rule}:v{self.analysis_version}:"
+            f"{self.message}"
+        ).encode()
         return hashlib.sha256(raw).hexdigest()[:16]
 
     def as_dict(self) -> dict:
@@ -99,8 +111,22 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "severity": self.severity.value,
+            "analysis_version": self.analysis_version,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the incremental cache)."""
+        return cls(
+            rule=payload["rule"],
+            message=payload["message"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            severity=Severity(payload.get("severity", "error")),
+            analysis_version=payload.get("analysis_version", 1),
+        )
 
     def demoted(self) -> "Finding":
         """Copy of this finding at warning severity (baseline demotion)."""
@@ -111,6 +137,7 @@ class Finding:
             line=self.line,
             col=self.col,
             severity=Severity.WARNING,
+            analysis_version=self.analysis_version,
         )
 
 
@@ -229,17 +256,36 @@ class Rule:
 
     Subclasses set :attr:`code`, :attr:`title`, and :attr:`rationale`
     (shown by ``primacy lint --list-rules``) and implement
-    :meth:`check`.
+    :meth:`check`.  Cross-module rules instead set
+    :attr:`requires_project` and implement :meth:`check_project`, which
+    runs once per lint invocation over the whole
+    :class:`~repro.lint.project.ProjectIndex`.
+
+    :attr:`analysis_version` feeds finding fingerprints and the deep
+    cache: bump it whenever the rule's logic tightens, so stale
+    baseline entries and cached results for *this rule only* are
+    invalidated.
     """
 
     code: str = "PL000"
     title: str = "abstract rule"
     rationale: str = ""
     severity: Severity = Severity.ERROR
+    analysis_version: int = 1
+    #: Cross-module rules run in the project phase instead of per module.
+    requires_project: bool = False
+    #: Minimal bad/good snippets shown by ``primacy lint --explain``
+    #: when the repo's fixture files are not on disk.
+    example_bad: str = ""
+    example_good: str = ""
 
     def check(self, module: ModuleContext) -> Iterable[Finding]:
-        """Yield findings for one module."""
-        raise NotImplementedError
+        """Yield findings for one module (per-module rules)."""
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        """Yield findings over the whole project (cross-module rules)."""
+        return ()
 
     def finding(
         self, module: ModuleContext, node: ast.AST, message: str
@@ -252,6 +298,7 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             severity=self.severity,
+            analysis_version=self.analysis_version,
         )
 
 
@@ -315,6 +362,68 @@ def select_rules(
     return chosen
 
 
+def load_module(
+    file_path: Path, root: Path
+) -> "ModuleContext | Finding":
+    """Parse one file; a syntax error comes back as a PL000 finding."""
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {file_path}: {exc}") from exc
+    relpath = _relative_to_root(file_path, root)
+    try:
+        return ModuleContext(file_path, source, relpath, root)
+    except SyntaxError as exc:  # primacy-lint: disable=PL001 -- converted to a PL000 finding, not swallowed
+        return Finding(
+            rule="PL000",
+            message=f"cannot parse: {exc.msg}",
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            severity=Severity.ERROR,
+        )
+
+
+def check_modules(
+    modules: list[ModuleContext], rules: Iterable[Rule]
+) -> list[Finding]:
+    """Run per-module rules, then project rules, with suppressions applied."""
+    per_module = [r for r in rules if not r.requires_project]
+    project_rules = [r for r in rules if r.requires_project]
+    findings: list[Finding] = []
+    by_relpath = {m.relpath: m for m in modules}
+    for module in modules:
+        for rule in per_module:
+            for finding in rule.check(module):
+                if not module.suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+    if project_rules:
+        from repro.lint.project import ProjectIndex
+
+        index = ProjectIndex(modules)
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                module = by_relpath.get(finding.path)
+                if module is not None and module.suppressed(
+                    finding.line, finding.rule
+                ):
+                    continue
+                findings.append(finding)
+    return findings
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[str] | None
+) -> list[Finding]:
+    """Demote baseline-matched findings and sort by location."""
+    result = [
+        f.demoted() if baseline and f.fingerprint in baseline else f
+        for f in findings
+    ]
+    result.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     rules: Iterable[Rule] | None = None,
@@ -328,6 +437,8 @@ def lint_paths(
 
     Suppressed findings are dropped; baseline-matched findings are
     demoted to warnings.  Findings come back sorted by location.
+    Cross-module rules (``requires_project``) run once over a
+    :class:`~repro.lint.project.ProjectIndex` of all linted files.
     """
     from repro.lint.rules import all_rules
 
@@ -336,58 +447,73 @@ def lint_paths(
         rules if rules is not None else all_rules(), select, ignore
     )
     findings: list[Finding] = []
+    modules: list[ModuleContext] = []
     for file_path in iter_python_files([Path(p) for p in paths]):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise LintError(f"cannot read {file_path}: {exc}") from exc
-        relpath = _relative_to_root(file_path, root)
-        try:
-            module = ModuleContext(file_path, source, relpath, root)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    rule="PL000",
-                    message=f"cannot parse: {exc.msg}",
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    severity=Severity.ERROR,
-                )
-            )
-            continue
-        for rule in active:
-            for finding in rule.check(module):
-                if module.suppressed(finding.line, finding.rule):
-                    continue
-                if baseline and finding.fingerprint in baseline:
-                    finding = finding.demoted()
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+        loaded = load_module(file_path, root)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            modules.append(loaded)
+    findings.extend(check_modules(modules, active))
+    return apply_baseline(findings, baseline)
 
 
 # -- baselines ----------------------------------------------------------
 
 
 def load_baseline(path: Path) -> set[str]:
-    """Read a baseline file into a fingerprint set."""
+    """Read a baseline file into a fingerprint set.
+
+    Accepts both formats: v1 (a flat ``fingerprints`` list) and v2
+    (``entries`` objects carrying the producing rule and its
+    ``analysis_version``).  Either way the match key is the
+    fingerprint, which since v2 hashes the analysis version in -- so a
+    rule tightened after the baseline was written simply stops
+    matching its stale entries.
+    """
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    entries = payload.get("entries")
+    if isinstance(entries, list):
+        fingerprints = [
+            e.get("fingerprint")
+            for e in entries
+            if isinstance(e, dict) and isinstance(e.get("fingerprint"), str)
+        ]
+        if len(fingerprints) != len(entries):
+            raise LintError(f"baseline {path} has malformed 'entries'")
+        return set(fingerprints)
     fingerprints = payload.get("fingerprints")
     if not isinstance(fingerprints, list):
-        raise LintError(f"baseline {path} has no 'fingerprints' list")
+        raise LintError(
+            f"baseline {path} has no 'entries' or 'fingerprints' list"
+        )
     return set(fingerprints)
 
 
 def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
-    """Write the fingerprints of ``findings`` as a baseline; returns count."""
-    fingerprints = sorted({f.fingerprint for f in findings})
-    payload = {"version": 1, "fingerprints": fingerprints}
+    """Write ``findings`` as a v2 baseline; returns the entry count.
+
+    Entries record the producing rule and its analysis version next to
+    each fingerprint so a reviewer can audit *what* was baselined and
+    which version of the rule produced it.
+    """
+    unique: dict[str, Finding] = {}
+    for f in findings:
+        unique.setdefault(f.fingerprint, f)
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": f.rule,
+            "analysis_version": f.analysis_version,
+        }
+        for fp, f in sorted(unique.items())
+    ]
+    payload = {"version": 2, "entries": entries}
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return len(fingerprints)
+    return len(entries)
 
 
 # -- output -------------------------------------------------------------

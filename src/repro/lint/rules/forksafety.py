@@ -1,0 +1,437 @@
+"""PL102 -- fork-safety across the worker-pool boundary.
+
+The parallel engine forks (``multiprocessing`` on Linux), and forking
+a process that owns threads copies *locked locks* and *open handles*
+into the child, where no thread will ever unlock them.  Two concrete
+hazards this rule proves absent:
+
+1. **Module-level synchronization primitives reachable from a fork
+   entry.**  A ``threading.Lock`` (or RLock / Condition / Event /
+   Semaphore) created at module scope and used by any function the
+   worker can reach (transitively, from a ``Process(target=...)``
+   entry point via the project call graph) can deadlock the child if
+   the parent forked while holding it.  The module must install an
+   ``os.register_at_fork`` reinitializer (the exemption this rule
+   looks for); ``threading.local()`` is per-thread state and exempt.
+   The same applies to module-level ``open(...)`` handles -- the child
+   shares the file offset with the parent.
+
+2. **Inherited pool handles used before the pid guard.**  A class with
+   a ``_reset_after_fork`` method owns handles (the attributes that
+   method nulls out) that become *someone else's* after a fork.  Every
+   public method doing I/O on such a handle (``self._task_q.put``,
+   ``self._result_q.get``) must first run a guard: an ``os.getpid()``
+   comparison, or a call to a sibling method that performs one
+   (``_ensure_pool``).  This is a forward *must* analysis over the
+   method's CFG: the "guarded" fact must hold on entry to every
+   handle-I/O statement on **all** paths.  Private helpers are the
+   callee side of the contract and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.cfg import CFGNode, build_cfg
+from repro.lint.dataflow import FORWARD, DataflowProblem, solve
+from repro.lint.engine import Finding, Rule
+from repro.lint.project import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["ForkSafetyRule"]
+
+#: threading / multiprocessing primitives that are unsafe to share
+#: across a fork when created at module scope.
+_PRIMITIVE_NAMES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+
+_GUARDED = "fork-guarded"
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _module_primitives(info: ModuleInfo) -> list[tuple[str, ast.stmt, str]]:
+    """Module-level ``NAME = threading.Lock()`` style assignments.
+
+    Returns ``(name, stmt, kind)`` where kind is the primitive's class
+    name or ``"open"``.  ``threading.local()`` is not a primitive.
+    """
+    out: list[tuple[str, ast.stmt, str]] = []
+    for stmt in info.context.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        name = _call_name(value)
+        if name in _PRIMITIVE_NAMES or name == "open":
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out.append((target.id, stmt, name or "open"))
+    return out
+
+
+def _module_registers_at_fork(info: ModuleInfo) -> bool:
+    """Whether the module calls ``os.register_at_fork`` anywhere."""
+    for node in ast.walk(info.context.tree):
+        if (
+            isinstance(node, ast.Call)
+            and _call_name(node) == "register_at_fork"
+        ):
+            return True
+    return False
+
+
+def _fork_entries(project: ProjectIndex) -> list[FunctionInfo]:
+    """Functions passed as ``Process(target=...)`` anywhere in the project."""
+    entries: list[FunctionInfo] = []
+    seen: set[str] = set()
+    for fn in project.iter_functions():
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) != "Process":
+                continue
+            for kw in node.keywords:
+                if kw.arg != "target":
+                    continue
+                target = kw.value
+                name = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else target.attr
+                    if isinstance(target, ast.Attribute)
+                    else None
+                )
+                if name is None:
+                    continue
+                for candidate in project.functions_named(name):
+                    if candidate.qualname not in seen:
+                        seen.add(candidate.qualname)
+                        entries.append(candidate)
+    return entries
+
+
+def _loads(fn: FunctionInfo) -> set[str]:
+    """Bare names this function reads (one frame, nested frames too --
+    a closure touching the module lock still touches it)."""
+    return {
+        n.id
+        for n in ast.walk(fn.node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+# -- sub-check B: pid guard before handle I/O ----------------------------
+
+
+def _is_pid_compare(expr: ast.expr) -> bool:
+    """``... != os.getpid()`` / ``os.getpid() == ...`` comparisons."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Compare):
+            sides = [node.left] + list(node.comparators)
+            for side in sides:
+                if (
+                    isinstance(side, ast.Call)
+                    and _call_name(side) == "getpid"
+                ):
+                    return True
+    return False
+
+
+def _guard_methods(cls: ast.ClassDef) -> set[str]:
+    """Methods whose body pid-compares, plus ``_reset_after_fork``."""
+    guards = {"_reset_after_fork"}
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.If, ast.While)) and _is_pid_compare(
+                node.test
+            ):
+                guards.add(stmt.name)
+                break
+    return guards
+
+
+def _reset_handles(reset: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Attributes ``_reset_after_fork`` nulls out (``self.X = None``).
+
+    Those are the process-bound handles; attributes reset to fresh
+    containers (``self._done = {}``) are plain state and do not need a
+    guard before every read.
+    """
+    handles: set[str] = set()
+    for stmt in reset.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not (
+            isinstance(stmt.value, ast.Constant) and stmt.value.value is None
+        ):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                handles.add(target.attr)
+    return handles
+
+
+def _stmt_handle_io(stmt: ast.stmt, handles: set[str]) -> set[str]:
+    """Handle attributes this statement does method-call I/O on."""
+    used: set[str] = set()
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+            and func.value.attr in handles
+        ):
+            used.add(func.value.attr)
+    return used
+
+
+def _stmt_guards(stmt: ast.stmt, guards: set[str], header_only: bool) -> bool:
+    """Whether this statement establishes the fork guard."""
+    if header_only:
+        # Compound headers: only an If/While *test* pid-compare counts;
+        # guard calls in the suites have their own nodes.
+        if isinstance(stmt, (ast.If, ast.While)):
+            return _is_pid_compare(stmt.test)
+        return False
+    if _is_pid_compare_stmt(stmt):
+        return True
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr in guards
+        ):
+            return True
+    return False
+
+
+def _is_pid_compare_stmt(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Compare) and _is_pid_compare(node):
+            return True
+    return False
+
+
+_COMPOUND = (
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+)
+
+
+class _GuardReached(DataflowProblem):
+    """Forward must-analysis: the fork guard ran on every path here."""
+
+    direction = FORWARD
+    may = False
+
+    def __init__(self, cfg, guards: set[str]) -> None:
+        self._gen: dict[int, frozenset] = {}
+        for node in cfg.nodes:
+            stmt = node.stmt
+            establishes = stmt is not None and _stmt_guards(
+                stmt, guards, header_only=isinstance(stmt, _COMPOUND)
+            )
+            self._gen[node.index] = (
+                frozenset({_GUARDED}) if establishes else frozenset()
+            )
+
+    def gen(self, node: CFGNode) -> frozenset:
+        return self._gen[node.index]
+
+    def kill(self, node: CFGNode) -> frozenset:
+        return frozenset()
+
+    def universe(self) -> frozenset:
+        return frozenset({_GUARDED})
+
+
+class ForkSafetyRule(Rule):
+    """Locks, handles, and pool state survive the fork boundary safely."""
+
+    code = "PL102"
+    title = "fork-safety across the worker-pool boundary"
+    rationale = (
+        "fork() copies a locked module-level lock into the child where "
+        "no thread will ever unlock it, and copies the parent's queue "
+        "handles into a process they no longer belong to; the first "
+        "needs an os.register_at_fork reinitializer, the second a "
+        "pid check before any handle I/O."
+    )
+    analysis_version = 1
+    requires_project = True
+    example_bad = (
+        "_CACHE_LOCK = threading.Lock()   # module scope, no at-fork hook\n"
+        "\n"
+        "def lookup(key):                  # reachable from Process(target=...)\n"
+        "    with _CACHE_LOCK:             # child deadlocks if parent\n"
+        "        return _CACHE.get(key)    # forked while this was held\n"
+    )
+    example_good = (
+        "_CACHE_LOCK = threading.Lock()\n"
+        "\n"
+        "def _refresh_after_fork():\n"
+        "    global _CACHE_LOCK\n"
+        "    _CACHE_LOCK = threading.Lock()   # child gets a fresh lock\n"
+        "\n"
+        "os.register_at_fork(after_in_child=_refresh_after_fork)\n"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        yield from self._check_module_primitives(project)
+        yield from self._check_pool_classes(project)
+
+    # -- sub-check A ----------------------------------------------------
+
+    def _check_module_primitives(
+        self, project: ProjectIndex
+    ) -> Iterable[Finding]:
+        entries = _fork_entries(project)
+        if not entries:
+            return
+        reachable = project.reachable_from(entries)
+        by_module: dict[str, list[FunctionInfo]] = {}
+        for fn in reachable:
+            by_module.setdefault(fn.relpath, []).append(fn)
+        for relpath, info in sorted(project.modules.items()):
+            fns = by_module.get(relpath)
+            if not fns:
+                continue
+            primitives = _module_primitives(info)
+            if not primitives or _module_registers_at_fork(info):
+                continue
+            for name, stmt, kind in primitives:
+                users = sorted(
+                    fn.name for fn in fns if name in _loads(fn)
+                )
+                if not users:
+                    continue
+                what = (
+                    "file handle" if kind == "open" else f"threading.{kind}"
+                )
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        f"module-level {what} '{name}' is used by "
+                        f"fork-reachable '{users[0]}' but the module "
+                        "installs no os.register_at_fork reinitializer; "
+                        "a fork while it is held deadlocks the child"
+                    ),
+                    path=relpath,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    severity=self.severity,
+                    analysis_version=self.analysis_version,
+                )
+
+    # -- sub-check B ----------------------------------------------------
+
+    def _check_pool_classes(
+        self, project: ProjectIndex
+    ) -> Iterable[Finding]:
+        for relpath, info in sorted(project.modules.items()):
+            for stmt in info.context.tree.body:
+                if not isinstance(stmt, ast.ClassDef):
+                    continue
+                reset = None
+                for sub in stmt.body:
+                    if (
+                        isinstance(
+                            sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        )
+                        and sub.name == "_reset_after_fork"
+                    ):
+                        reset = sub
+                        break
+                if reset is None:
+                    continue
+                handles = _reset_handles(reset)
+                if not handles:
+                    continue
+                guards = _guard_methods(stmt)
+                for method in stmt.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if method.name.startswith("_"):
+                        continue  # callee side of the guard contract
+                    yield from self._check_method(
+                        relpath, stmt.name, method, handles, guards
+                    )
+
+    def _check_method(
+        self,
+        relpath: str,
+        class_name: str,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        handles: set[str],
+        guards: set[str],
+    ) -> Iterable[Finding]:
+        cfg = build_cfg(method)
+        reachable = cfg.reachable()
+        io_nodes = [
+            (node, used)
+            for node in cfg.nodes
+            if node in reachable and node.stmt is not None
+            for used in [
+                _stmt_handle_io(node.stmt, handles)
+                if not isinstance(node.stmt, _COMPOUND)
+                else set()
+            ]
+            if used
+        ]
+        if not io_nodes:
+            return
+        solution = solve(cfg, _GuardReached(cfg, guards))
+        for node, used in io_nodes:
+            if _GUARDED in solution.entering(node):
+                continue
+            attr = sorted(used)[0]
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"'{class_name}.{method.name}' does I/O on inherited "
+                    f"handle 'self.{attr}' on a path with no prior pid "
+                    "check; after a fork this handle belongs to the "
+                    "parent process"
+                ),
+                path=relpath,
+                line=node.lineno,
+                col=getattr(node.stmt, "col_offset", 0),
+                severity=self.severity,
+                analysis_version=self.analysis_version,
+            )

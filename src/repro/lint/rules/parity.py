@@ -1,0 +1,147 @@
+"""PL104 -- kernel/reference parity.
+
+Every ``kernels=`` knob names a fast path (vectorized, fused, batch)
+that shadows a frozen scalar *reference* implementation.  The reference
+twin is what makes the fast path testable: an equivalence test runs
+both and asserts identical bytes.  This rule keeps the triangle
+closed for every owner of a ``kernels`` knob -- a function parameter
+(``def __init__(self, kernels="batch")``) or a dataclass field
+(``kernels: str = "fused"``):
+
+1. some source module must mention both the owner and ``reference``
+   (the defining module usually does; config carriers like
+   ``Candidate`` are consumed elsewhere and the dispatch site counts);
+2. some **single** test file must mention both the owner and
+   ``reference`` -- an equivalence test split across files where no
+   file sees both sides is not an equivalence test.
+
+The string-level check is deliberate: a reference backend that was
+deleted, or renamed away from "reference", should fail loudly here
+rather than silently orphan the fast path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, Rule
+from repro.lint.project import ProjectIndex
+
+__all__ = ["KernelParityRule"]
+
+_KNOB = "kernels"
+
+
+def _owners(project: ProjectIndex) -> list[tuple[str, str, int, int]]:
+    """``(owner_name, relpath, line, col)`` for every kernels knob."""
+    out: list[tuple[str, str, int, int]] = []
+    seen: set[tuple[str, str]] = set()
+
+    def add(owner: str, relpath: str, node: ast.AST) -> None:
+        key = (owner, relpath)
+        if key not in seen:
+            seen.add(key)
+            out.append(
+                (owner, relpath, node.lineno, node.col_offset)
+            )
+
+    for fn in project.iter_functions():
+        args = fn.node.args
+        params = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+        for arg in params:
+            if arg.arg == _KNOB:
+                add(fn.class_name or fn.name, fn.relpath, arg)
+    for relpath, info in project.modules.items():
+        for stmt in info.context.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            for sub in stmt.body:
+                if (
+                    isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Name)
+                    and sub.target.id == _KNOB
+                ):
+                    add(stmt.name, relpath, sub)
+    return out
+
+
+class KernelParityRule(Rule):
+    """Every kernels= fast path keeps a reference twin and a pairing test."""
+
+    code = "PL104"
+    title = "kernel/reference parity"
+    rationale = (
+        "A vectorized kernel with no frozen reference twin has no "
+        "oracle: the next optimization can only be eyeballed, and the "
+        "first silent divergence ships corrupted bytes; the twin plus "
+        "one test that runs both keeps every fast path falsifiable."
+    )
+    analysis_version = 1
+    requires_project = True
+    example_bad = (
+        "class FastCodec:\n"
+        "    def __init__(self, kernels: str = 'batch') -> None:\n"
+        "        self._encode = _BATCH_ONLY[kernels]   # no 'reference'\n"
+        "        # ...and no test file pairs FastCodec with a reference\n"
+    )
+    example_good = (
+        "class FastCodec:\n"
+        "    def __init__(self, kernels: str = 'batch') -> None:\n"
+        "        # backends: {'batch': ..., 'reference': ...}\n"
+        "        self._encode = _KERNEL_BACKENDS[kernels]\n"
+        "\n"
+        "# tests/test_fast_codec.py\n"
+        "def test_batch_matches_reference(data):\n"
+        "    assert (FastCodec(kernels='batch').encode(data)\n"
+        "            == FastCodec(kernels='reference').encode(data))\n"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        owners = _owners(project)
+        if not owners:
+            return
+        any_module = next(iter(project.modules.values()))
+        tests = any_module.context.project_root
+        test_sources = [
+            source for _, source in project.test_files(tests)
+        ]
+        for owner, relpath, line, col in sorted(owners):
+            has_twin = any(
+                owner in info.context.source
+                and "reference" in info.context.source
+                for info in project.modules.values()
+            )
+            has_test = any(
+                owner in source and "reference" in source
+                for source in test_sources
+            )
+            if has_twin and has_test:
+                continue
+            missing = []
+            if not has_twin:
+                missing.append(
+                    "no source module pairs it with a 'reference' backend"
+                )
+            if not has_test:
+                missing.append(
+                    "no single test file names both it and 'reference'"
+                )
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"'{owner}' exposes a kernels= fast path but "
+                    f"{' and '.join(missing)}; a fast path without its "
+                    "frozen reference twin and equivalence test is "
+                    "unfalsifiable"
+                ),
+                path=relpath,
+                line=line,
+                col=col,
+                severity=self.severity,
+                analysis_version=self.analysis_version,
+            )

@@ -176,6 +176,19 @@ _LEDGER: ResourceLedger | None = None
 _LEDGER_LOCK = threading.Lock()
 
 
+def _reinit_lock_after_fork() -> None:  # pragma: no cover - fork hook
+    # fork() copies the lock in whatever state the parent held it;
+    # if another parent thread was inside ledger() at that instant the
+    # child would deadlock on first use.  Give the child a fresh lock
+    # (single-threaded at that point, so this is race-free).
+    global _LEDGER_LOCK
+    _LEDGER_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix in CI
+    os.register_at_fork(after_in_child=_reinit_lock_after_fork)
+
+
 def ledger() -> ResourceLedger:
     """The process-wide ledger (created on first use)."""
     global _LEDGER

@@ -316,11 +316,15 @@ def _worker_main(
         try:
             if shm_name is not None:
                 shm = SharedMemory(name=shm_name)
-                if led is not None:
-                    led.track_segment(
-                        shm.name, shm.size, origin="worker-attach"
-                    )
+                # Nothing may run between the attach and this try: the
+                # worker loop's outer except ships errors and keeps
+                # serving, so an unprotected raise here would leak the
+                # worker-side mapping for the process's lifetime.
                 try:
+                    if led is not None:
+                        led.track_segment(
+                            shm.name, shm.size, origin="worker-attach"
+                        )
                     data = bytes(shm.buf[offset : offset + length])
                 finally:
                     shm.close()

@@ -35,5 +35,5 @@ def release_in_finally(shm):
 
 
 def suppressed_leak(name):
-    shm = SharedMemory(name=name)  # primacy-lint: disable=PL003 -- closed by caller
+    shm = SharedMemory(name=name)  # primacy-lint: disable=PL003,PL101 -- closed by caller
     return shm.buf

@@ -1,0 +1,59 @@
+"""PL101 good fixture: every path provably releases or transfers."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def release_in_finally(data):
+    view = memoryview(data)
+    try:
+        return int(view[0])
+    except IndexError:
+        return None
+    finally:
+        view.release()  # runs on every path, exception edge included
+
+
+def managed_by_with(name):
+    with SharedMemory(name=name) as shm:
+        return bytes(shm.buf[:8])
+
+
+def ownership_transfer(registry, name):
+    shm = SharedMemory(name=name)
+    registry.append(shm)  # the registry owns it now
+    return shm.size
+
+
+def returned_to_caller(data):
+    view = memoryview(data)
+    return view  # caller owns it
+
+
+def derivation_keeps_obligation(data):
+    view = memoryview(data)
+    view = view.cast("B")  # same resource, narrowed -- not a leak
+    n = view.nbytes
+    view.release()
+    return n
+
+
+def released_on_both_branches(data, wide):
+    view = memoryview(data)
+    if wide:
+        n = view.nbytes
+        view.release()
+    else:
+        n = 0
+        view.release()
+    return n
+
+
+def nested_try_with_reraise(data):
+    view = memoryview(data)
+    try:
+        try:
+            return int(view[0])
+        except IndexError:
+            raise ValueError("empty buffer") from None
+    finally:
+        view.release()

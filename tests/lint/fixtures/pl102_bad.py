@@ -1,0 +1,42 @@
+"""PL102 bad fixture: fork-unsafe locks and unguarded pool handles."""
+
+import os
+import threading
+from multiprocessing import Process
+
+_CACHE = {}
+_CACHE_LOCK = threading.Lock()  # module scope, no at-fork reinitializer
+
+
+def _worker_entry(key):
+    return lookup(key)
+
+
+def lookup(key):
+    with _CACHE_LOCK:  # child deadlocks if parent forked mid-hold
+        return _CACHE.get(key)
+
+
+def start_worker(key):
+    proc = Process(target=_worker_entry, args=(key,))
+    proc.start()
+    return proc
+
+
+class Pool:
+    def __init__(self):
+        self._task_q = None
+        self._pid = None
+
+    def _reset_after_fork(self):
+        self._task_q = None
+        self._pid = None
+
+    def submit(self, item):
+        self._task_q.put(item)  # no pid check: parent's queue after fork
+
+    def submit_sometimes_guarded(self, item, fast):
+        if fast:
+            if self._pid != os.getpid():
+                self._reset_after_fork()
+        self._task_q.put(item)  # guard only on the fast path

@@ -1,0 +1,60 @@
+"""PL102 good fixture: at-fork reinitializers and pid-guarded handles."""
+
+import os
+import threading
+from multiprocessing import Process
+
+_CACHE = {}
+_CACHE_LOCK = threading.Lock()
+_SCRATCH = threading.local()  # per-thread state is fork-safe
+
+
+def _reinit_after_fork():
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+def _worker_entry(key):
+    return lookup(key)
+
+
+def lookup(key):
+    with _CACHE_LOCK:
+        return _CACHE.get(key)
+
+
+def start_worker(key):
+    proc = Process(target=_worker_entry, args=(key,))
+    proc.start()
+    return proc
+
+
+class Pool:
+    def __init__(self):
+        self._task_q = None
+        self._pid = None
+
+    def _reset_after_fork(self):
+        self._task_q = None
+        self._pid = None
+
+    def _ensure_pool(self):
+        if self._pid is not None and self._pid != os.getpid():
+            self._reset_after_fork()
+
+    def submit(self, item):
+        self._ensure_pool()
+        self._task_q.put(item)
+
+    def submit_inline_guard(self, item):
+        if self._pid != os.getpid():
+            self._reset_after_fork()
+        self._task_q.put(item)
+
+    def _drain_one(self):
+        # Private helper: the public callers hold the guard contract.
+        return self._task_q.get()

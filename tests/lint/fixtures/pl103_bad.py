@@ -1,0 +1,40 @@
+"""PL103 bad fixture: decoders that disagree with their encoders."""
+
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+MAGIC = b"TSTF"
+
+
+def encode_record(name: bytes, payload: bytes) -> bytes:
+    out = bytearray()
+    out += MAGIC
+    out += encode_uvarint(len(name))  # length is a uvarint
+    out += name
+    out.append(1)
+    out += payload
+    return bytes(out)
+
+
+def decode_record(data):
+    if data[:4] != MAGIC:
+        raise ValueError("bad magic")
+    n = data[4]  # asymmetry: reads the length as one byte
+    pos = 5
+    name = bytes(data[pos : pos + n])
+    pos += n
+    flag = data[pos]
+    return name, flag, bytes(data[pos + 1 :])
+
+
+def encode_frame(count: int, crc: int) -> bytes:
+    out = bytearray()
+    out += encode_uvarint(count)
+    out += crc.to_bytes(4, "little")
+    out.append(7)  # trailing version byte
+    return bytes(out)
+
+
+def decode_frame(data):
+    count, pos = decode_uvarint(data, 0)
+    crc = int.from_bytes(data[pos : pos + 4], "little")
+    return count, crc  # asymmetry: the version byte is never consumed

@@ -1,0 +1,41 @@
+"""PL103 good fixture: encoder and decoder agree field for field."""
+
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+MAGIC = b"TSTF"
+
+
+def encode_record(name: bytes, payload: bytes) -> bytes:
+    out = bytearray()
+    out += MAGIC
+    out += encode_uvarint(len(name))
+    out += name
+    out.append(1)
+    out += payload
+    return bytes(out)
+
+
+def decode_record(data):
+    if data[:4] != MAGIC:
+        raise ValueError("bad magic")
+    pos = 4
+    n, pos = decode_uvarint(data, pos)
+    name = bytes(data[pos : pos + n])
+    pos += n
+    flag = data[pos]
+    return name, flag, bytes(data[pos + 1 :])
+
+
+def encode_header(count: int, tail: bytes) -> bytes:
+    out = bytearray()
+    out += encode_uvarint(count)
+    out += encode_uvarint(len(tail))
+    out += tail
+    return bytes(out)
+
+
+def parse_header(data):
+    # A header parser may leave the trailing payload to its caller.
+    count, pos = decode_uvarint(data, 0)
+    tail_len, pos = decode_uvarint(data, pos)
+    return count, tail_len, pos

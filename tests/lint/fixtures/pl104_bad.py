@@ -1,0 +1,16 @@
+"""PL104 bad fixture: a kernels= fast path with no frozen twin.
+
+The module never pairs the knob with a fallback backend, so the fast
+path has no oracle to be checked against.
+"""
+
+_BACKENDS = {"batch": lambda data: bytes(data)}
+
+
+class TurboCodec:
+    def __init__(self, kernels: str = "batch") -> None:
+        self.kernels = kernels
+        self._encode = _BACKENDS[kernels]
+
+    def compress(self, data: bytes) -> bytes:
+        return self._encode(data)

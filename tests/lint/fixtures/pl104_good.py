@@ -1,0 +1,26 @@
+"""PL104 good fixture: the fast path keeps its reference twin.
+
+The equivalence test naming both ParityCodec and the reference backend
+lives in ``tests/lint/test_deep_rules.py``.
+"""
+
+
+def _batch_encode(data: bytes) -> bytes:
+    return bytes(data)
+
+
+def _reference_encode(data: bytes) -> bytes:
+    # Frozen scalar oracle the batch kernel is tested against.
+    return bytes(bytearray(data))
+
+
+_BACKENDS = {"batch": _batch_encode, "reference": _reference_encode}
+
+
+class ParityCodec:
+    def __init__(self, kernels: str = "batch") -> None:
+        self.kernels = kernels
+        self._encode = _BACKENDS[kernels]
+
+    def compress(self, data: bytes) -> bytes:
+        return self._encode(data)

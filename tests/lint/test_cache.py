@@ -1,0 +1,153 @@
+"""Incremental deep-lint cache: hit/miss counters and invalidation."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import CacheStats, LintCache, deep_lint, deep_rules
+from repro.lint.cache import rules_signature
+from repro.lint.rules import all_rules
+
+
+@pytest.fixture
+def project(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "clean.py").write_text(
+        "def double(x):\n    return x * 2\n", encoding="utf-8"
+    )
+    (src / "leaky.py").write_text(
+        textwrap.dedent(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name):
+                shm = SharedMemory(name=name)
+                return bytes(shm.buf[:1])
+            """
+        ),
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def run(project_root, cache):
+    stats = CacheStats()
+    findings = deep_lint(
+        [project_root / "src"],
+        all_rules() + deep_rules(),
+        project_root=project_root,
+        cache=cache,
+        stats=stats,
+    )
+    return findings, stats
+
+
+def test_cold_then_warm_run(project):
+    cache_path = project / ".lint-cache.json"
+    cold, cold_stats = run(project, LintCache(cache_path))
+    assert cold_stats.as_dict() == {
+        "file_hits": 0,
+        "file_misses": 2,
+        "project_hit": False,
+        "project_ran": True,
+    }
+    assert "2 miss(es), project phase miss" in cold_stats.summary()
+    assert cache_path.exists()
+
+    warm, warm_stats = run(project, LintCache(cache_path))
+    assert warm_stats.as_dict() == {
+        "file_hits": 2,
+        "file_misses": 0,
+        "project_hit": True,
+        "project_ran": False,
+    }
+    assert "2 file hit(s), 0 miss(es), project phase hit" in warm_stats.summary()
+
+    # Replayed findings are byte-identical to the live run's (the PL101
+    # leak in leaky.py survives the round-trip).
+    assert [f.as_dict() for f in warm] == [f.as_dict() for f in cold]
+    assert any(f.rule == "PL101" for f in warm)
+
+
+def test_editing_one_file_misses_only_that_file(project):
+    cache_path = project / ".lint-cache.json"
+    run(project, LintCache(cache_path))
+    (project / "src" / "clean.py").write_text(
+        "def triple(x):\n    return x * 3\n", encoding="utf-8"
+    )
+    _, stats = run(project, LintCache(cache_path))
+    assert stats.file_hits == 1
+    assert stats.file_misses == 1
+    # Any edit anywhere re-runs the interprocedural phase.
+    assert stats.project_ran and not stats.project_hit
+
+
+def test_analysis_version_bump_invalidates_everything(project):
+    cache_path = project / ".lint-cache.json"
+    run(project, LintCache(cache_path))
+
+    bumped = all_rules() + deep_rules()
+    for rule in bumped:
+        if rule.code == "PL101":
+            rule.analysis_version = rule.analysis_version + 1
+    stats = CacheStats()
+    deep_lint(
+        [project / "src"],
+        bumped,
+        project_root=project,
+        cache=LintCache(cache_path),
+        stats=stats,
+    )
+    # PL101 is a per-module rule: every per-file entry is stale, while
+    # the untouched project-rule signature still hits.
+    assert stats.file_misses == 2
+    assert stats.project_hit
+
+
+def test_rules_signature_tracks_code_and_version():
+    rules = deep_rules()
+    base = rules_signature(rules)
+    assert base == rules_signature(deep_rules())
+    rules[0].analysis_version += 1
+    assert rules_signature(rules) != base
+    assert rules_signature(rules[1:]) != base
+
+
+def test_corrupt_cache_is_an_empty_cache(project):
+    cache_path = project / ".lint-cache.json"
+    cache_path.write_text("{not json", encoding="utf-8")
+    _, stats = run(project, LintCache(cache_path))
+    assert stats.file_misses == 2
+    # The corrupt file was overwritten with a valid cache.
+    payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert set(payload["files"]) == {"src/clean.py", "src/leaky.py"}
+
+
+def test_stale_cache_version_ignored(project):
+    cache_path = project / ".lint-cache.json"
+    run(project, LintCache(cache_path))
+    payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    payload["version"] = 999
+    cache_path.write_text(json.dumps(payload), encoding="utf-8")
+    _, stats = run(project, LintCache(cache_path))
+    assert stats.file_misses == 2
+
+
+def test_no_cache_still_counts(project):
+    findings, stats = run(project, None)
+    assert stats.file_misses == 2
+    assert stats.project_ran
+    assert any(f.rule == "PL101" for f in findings)
+
+
+def test_syntax_error_file_is_cached(project):
+    (project / "src" / "broken.py").write_text("def (\n", encoding="utf-8")
+    cache_path = project / ".lint-cache.json"
+    cold, cold_stats = run(project, LintCache(cache_path))
+    assert any(f.rule == "PL000" for f in cold)
+    warm, warm_stats = run(project, LintCache(cache_path))
+    assert warm_stats.file_hits == 3
+    assert any(f.rule == "PL000" for f in warm)

@@ -86,3 +86,68 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for code in ("PL001", "PL002", "PL003", "PL004", "PL005"):
         assert code in out
+    assert "PL101" not in out
+
+
+def test_list_rules_deep_includes_deep_tier(capsys):
+    assert main(["lint", "--list-rules", "--deep"]) == 0
+    out = capsys.readouterr().out
+    for code in ("PL101", "PL102", "PL103", "PL104"):
+        assert code in out
+
+
+def test_deep_gate_on_repo_src(monkeypatch):
+    """The acceptance gate: ``primacy lint --deep src`` exits 0."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "--deep", "src"]) == 0
+
+
+def test_deep_flags_bad_fixture(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    rc = main(
+        [
+            "lint",
+            "--deep",
+            str(FIXTURES / "pl101_bad.py"),
+            "--select",
+            "PL101",
+        ]
+    )
+    assert rc == 1
+    assert "PL101" in capsys.readouterr().out
+
+
+def test_deep_cache_reports_stats(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    cache = tmp_path / "cache.json"
+    # pl104_good is clean under the shallow tier too (pl101_good
+    # deliberately trips the cruder PL003 heuristic).
+    fixture = str(FIXTURES / "pl104_good.py")
+
+    assert main(["lint", "--deep", fixture, "--cache", str(cache)]) == 0
+    assert "project phase miss" in capsys.readouterr().err
+
+    assert main(["lint", "--deep", fixture, "--cache", str(cache)]) == 0
+    err = capsys.readouterr().err
+    assert "1 file hit(s), 0 miss(es), project phase hit" in err
+
+
+def test_explain_prints_rationale_and_examples(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "--explain", "PL101"]) == 0
+    out = capsys.readouterr().out
+    assert "PL101" in out
+    assert "bad" in out.lower()
+    assert "good" in out.lower()
+    # The examples come from the fixture files when they exist.
+    assert "leak_on_except_return" in out
+
+
+def test_explain_shallow_rule(capsys):
+    assert main(["lint", "--explain", "PL001"]) == 0
+    assert "PL001" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_exits_2(capsys):
+    assert main(["lint", "--explain", "PL999"]) == 2
+    assert "PL999" in capsys.readouterr().err

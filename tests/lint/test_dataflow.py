@@ -1,0 +1,241 @@
+"""Worklist solver semantics pinned on the shipped analyses."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    DataflowProblem,
+    Liveness,
+    ReachingDefinitions,
+    solve,
+    statement_defs,
+    statement_uses,
+)
+
+
+def make_cfg(src, **kwargs):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body[0], **kwargs)
+
+
+def node_for(cfg, predicate):
+    (node,) = [n for n in cfg.statement_nodes() if predicate(n.stmt)]
+    return node
+
+
+def assign_to(name):
+    def predicate(stmt):
+        return (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+        )
+
+    return predicate
+
+
+# -- def/use extraction --------------------------------------------------
+
+
+def stmt(src):
+    return ast.parse(textwrap.dedent(src)).body[0]
+
+
+def test_statement_defs_tuple_unpack():
+    assert statement_defs(stmt("x, (y, *z) = p")) == {"x", "y", "z"}
+
+
+def test_statement_defs_augassign_and_walrus():
+    assert statement_defs(stmt("total += n")) == {"total"}
+    assert statement_defs(stmt("if (m := g(v)):\n    pass")) == {"m"}
+
+
+def test_statement_defs_with_as_and_for_target():
+    assert statement_defs(stmt("with open(p) as fh:\n    pass")) == {"fh"}
+    assert statement_defs(stmt("for a, b in items:\n    pass")) == {"a", "b"}
+
+
+def test_statement_uses_loads_only():
+    uses = statement_uses(stmt("x = f(a, b) + x"))
+    assert uses == {"f", "a", "b", "x"}
+
+
+# -- reaching definitions ------------------------------------------------
+
+
+def test_reaching_defs_straight_line_kill():
+    cfg = make_cfg(
+        """
+        def f():
+            x = 1
+            x = 2
+            y = x
+        """
+    )
+    sol = solve(cfg, ReachingDefinitions(cfg))
+    first = node_for(cfg, lambda s: getattr(s, "lineno", 0) == cfg.func.lineno + 1)
+    use = node_for(cfg, assign_to("y"))
+    reaching = {idx for name, idx in sol.entering(use) if name == "x"}
+    # Only the second definition survives; the first was killed.
+    assert reaching == {node_for(cfg, lambda s: s.lineno == first.lineno + 1).index}
+
+
+def test_reaching_defs_merge_at_join():
+    cfg = make_cfg(
+        """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                x = 2
+            y = x
+        """
+    )
+    sol = solve(cfg, ReachingDefinitions(cfg))
+    use = node_for(cfg, assign_to("y"))
+    reaching = {idx for name, idx in sol.entering(use) if name == "x"}
+    assert len(reaching) == 2  # may-analysis: both branch defs reach
+
+
+def test_reaching_defs_params_defined_at_entry():
+    cfg = make_cfg(
+        """
+        def f(a, *rest, **extra):
+            return a
+        """
+    )
+    sol = solve(cfg, ReachingDefinitions(cfg))
+    ret = node_for(cfg, lambda s: isinstance(s, ast.Return))
+    names = {name for name, _ in sol.entering(ret)}
+    assert names == {"a", "rest", "extra"}
+
+
+def test_reaching_defs_loop_carried():
+    cfg = make_cfg(
+        """
+        def f(items):
+            acc = 0
+            for it in items:
+                acc = acc + it
+            return acc
+        """
+    )
+    sol = solve(cfg, ReachingDefinitions(cfg))
+    ret = node_for(cfg, lambda s: isinstance(s, ast.Return))
+    acc_defs = {idx for name, idx in sol.entering(ret) if name == "acc"}
+    # Both the init and the loop-body rebind reach the return.
+    assert len(acc_defs) == 2
+
+
+# -- liveness ------------------------------------------------------------
+
+
+def test_liveness_dead_after_last_use():
+    cfg = make_cfg(
+        """
+        def f(a):
+            b = a + 1
+            c = b * 2
+            return c
+        """
+    )
+    sol = solve(cfg, Liveness(cfg))
+    def_b = node_for(cfg, assign_to("b"))
+    def_c = node_for(cfg, assign_to("c"))
+    assert "a" in sol.entering(def_b)
+    assert "a" not in sol.leaving(def_b)  # last use of a
+    assert "b" not in sol.leaving(def_c)  # b is dead once c exists
+
+
+def test_liveness_self_reference_keeps_use():
+    cfg = make_cfg(
+        """
+        def f(x):
+            x = x + 1
+            return x
+        """
+    )
+    sol = solve(cfg, Liveness(cfg))
+    rebind = node_for(cfg, assign_to("x"))
+    # gen is applied after kill: the read of the old x stays live in.
+    assert "x" in sol.entering(rebind)
+
+
+def test_liveness_covers_exception_path():
+    cfg = make_cfg(
+        """
+        def f(log):
+            msg = "boom"
+            try:
+                work()
+            except ValueError:
+                log(msg)
+            return None
+        """
+    )
+    sol = solve(cfg, Liveness(cfg))
+    def_msg = node_for(cfg, assign_to("msg"))
+    # msg is only used on the handler path; liveness must see it.
+    assert "msg" in sol.leaving(def_msg)
+
+
+# -- must-analysis semantics ---------------------------------------------
+
+
+class _DefinitelyAssigned(DataflowProblem):
+    """Forward must-analysis: names assigned on every path so far."""
+
+    direction = "forward"
+    may = False
+
+    def __init__(self, cfg):
+        self._cfg = cfg
+        self._all = frozenset().union(
+            *(statement_defs(n.stmt) for n in cfg.nodes)
+        )
+
+    def gen(self, node):
+        return statement_defs(node.stmt)
+
+    def kill(self, node):
+        return frozenset()
+
+    def universe(self):
+        return self._all
+
+
+def test_must_analysis_intersects_at_join():
+    cfg = make_cfg(
+        """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                y = 2
+            z = 3
+        """
+    )
+    sol = solve(cfg, _DefinitelyAssigned(cfg))
+    z_node = node_for(cfg, assign_to("z"))
+    entering = sol.entering(z_node)
+    # Neither x nor y is assigned on *both* branches.
+    assert "x" not in entering
+    assert "y" not in entering
+    assert "z" in sol.leaving(z_node)
+
+
+def test_must_analysis_keeps_fact_when_all_paths_agree():
+    cfg = make_cfg(
+        """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                x = 2
+            z = x
+        """
+    )
+    sol = solve(cfg, _DefinitelyAssigned(cfg))
+    z_node = node_for(cfg, assign_to("z"))
+    assert "x" in sol.entering(z_node)
