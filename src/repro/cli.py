@@ -12,9 +12,16 @@ Subcommands::
     primacy salvage IN OUT           # recover readable chunks from a damaged file
     primacy lint [PATHS...]          # AST codec-invariant checker (PL001..PL005)
     primacy stats [IN]               # run a workload with observability on, report
+    primacy stats --remote H:P       # render a running daemon's counters
     primacy bench                    # CR/CTP/DTP over the dataset registry, gate vs baseline
+    primacy serve                    # run the asyncio compression daemon
+    primacy client ...               # talk to a running daemon
 
-Exit status is non-zero on any error; messages go to stderr.
+Exit codes are part of the contract (pinned in ``tests/test_cli.py``):
+``0`` success, ``1`` runtime error, ``2`` usage error or corruption
+found by ``fsck``, ``3`` benchmark regression under ``--check``, ``4``
+``serve`` failed to start (e.g. the port is taken).  Messages go to
+stderr.
 """
 
 from __future__ import annotations
@@ -42,7 +49,23 @@ from repro.model import (
     predict_compressed_write,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_BENCH_REGRESSION",
+    "EXIT_SERVE_STARTUP",
+]
+
+#: The exit-code contract.  ``EXIT_USAGE`` doubles as "fsck found
+#: corruption" (both mean: the invocation's input was not acceptable).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_BENCH_REGRESSION = 3
+EXIT_SERVE_STARTUP = 4
 
 
 def _worker_count(text: str) -> int:
@@ -273,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None, metavar="FILE",
         help="also stream spans to FILE as JSONL",
     )
+    p.add_argument(
+        "--remote", default=None, metavar="HOST:PORT",
+        help="render a running serve daemon's stat document instead of "
+        "running a local workload",
+    )
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
@@ -325,6 +353,94 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sigma-ho", type=float, default=0.2)
     p.add_argument("--sigma-lo", type=float, default=0.8)
     p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio compression daemon (binary protocol + "
+        "HTTP shim on one port; SIGTERM drains gracefully)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=9653,
+        help="TCP port (0: pick a free port and announce it)",
+    )
+    p.add_argument(
+        "--workers", type=_worker_count, default=None, metavar="N",
+        help="engine pool size (default: CPU count)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="in-flight chunk window of the engine",
+    )
+    p.add_argument(
+        "--max-payload-bytes", type=int, default=None, metavar="N",
+        help="per-request payload cap (default: protocol cap)",
+    )
+    p.add_argument(
+        "--max-inflight-bytes", type=int, default=None, metavar="N",
+        help="acknowledged-bytes ceiling before BUSY refusals",
+    )
+    p.add_argument(
+        "--max-inflight-requests", type=int, default=None, metavar="N",
+        help="acknowledged-request ceiling before BUSY refusals",
+    )
+    p.add_argument(
+        "--quota-bps", type=float, default=0.0, metavar="BPS",
+        help="per-tenant token-bucket refill rate in bytes/s "
+        "(0: quotas off)",
+    )
+    p.add_argument(
+        "--quota-burst-bytes", type=float, default=None, metavar="N",
+        help="per-tenant bucket capacity (default: one second of rate)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="max time a SIGTERM drain waits for acknowledged requests",
+    )
+    p.add_argument(
+        "--drain-checkpoint", type=Path, default=None, metavar="FILE",
+        help="seal final counters into FILE as a PRCK checkpoint on drain",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="talk to a running serve daemon"
+    )
+    p.add_argument(
+        "--connect", default="127.0.0.1:9653", metavar="HOST:PORT",
+        help="daemon address (default: 127.0.0.1:9653)",
+    )
+    csub = p.add_subparsers(dest="client_command", required=True)
+    c = csub.add_parser("compress", help="compress a file via the daemon")
+    c.add_argument("input", type=Path)
+    c.add_argument("output", type=Path)
+    c.add_argument("--codec", default="pyzlib")
+    c.add_argument("--chunk-bytes", type=int, default=3 * 1024 * 1024)
+    c.add_argument("--high-bytes", type=int, default=2)
+    c.add_argument(
+        "--linearization", choices=["column", "row"], default="column"
+    )
+    c.add_argument(
+        "--auto", action="store_true",
+        help="planner-driven per-chunk codec choice (server-side --auto)",
+    )
+    c.add_argument(
+        "--network-mbps", type=float, default=4.0, metavar="THETA",
+        help="--auto only: planner target transfer rate",
+    )
+    c.add_argument("--tenant", default="", help="quota accounting name")
+    c.set_defaults(func=_cmd_client)
+    c = csub.add_parser(
+        "decompress", help="decompress a container via the daemon"
+    )
+    c.add_argument("input", type=Path)
+    c.add_argument("output", type=Path)
+    c.add_argument("--tenant", default="", help="quota accounting name")
+    c.set_defaults(func=_cmd_client)
+    c = csub.add_parser("stat", help="print the daemon's stat document")
+    c.set_defaults(func=_cmd_client)
+    c = csub.add_parser("health", help="print the daemon's health document")
+    c.set_defaults(func=_cmd_client)
 
     return parser
 
@@ -380,7 +496,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             f"CR={stats.compression_ratio:.3f}  chunks={len(stats.chunks)}"
         )
         _print_decisions(decisions)
-        return 0
+        return EXIT_OK
     config = _make_config(args)
     if args.workers > 1:
         from repro.parallel import ParallelCompressor
@@ -396,7 +512,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         f"alpha2={stats.alpha2:.3f}  sigma_ho={stats.sigma_ho:.3f}  "
         f"meta={stats.metadata_bytes}B  chunks={len(stats.chunks)}"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
@@ -410,14 +526,14 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         out = PrimacyCompressor().decompress(data)
     args.output.write_bytes(out)
     print(f"{len(data)} -> {len(out)} bytes")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     data = args.input.read_bytes()
     if len(data) < 8:
         print("need at least one float64 value", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     usable = len(data) - (len(data) % 8)
     values = np.frombuffer(data[:usable], dtype="<f8")
     prof = bit_probability_profile(values, name=str(args.input))
@@ -431,7 +547,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"top-byte before mapping: {rep.top_byte_before:.3f}")
     print(f"top-byte after mapping:  {rep.top_byte_after:.3f}")
     print(f"repeatability gain:      {rep.top_byte_gain:+.3f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_codecs(_: argparse.Namespace) -> int:
@@ -439,20 +555,20 @@ def _cmd_codecs(_: argparse.Namespace) -> int:
         codec = get_codec(name)
         doc = (type(codec).__doc__ or "").strip().splitlines()[0]
         print(f"{name:10s} {doc}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
     if args.write is None:
         for name in dataset_names():
             print(name)
-        return 0
+        return EXIT_OK
     args.write.mkdir(parents=True, exist_ok=True)
     for name in dataset_names():
         path = args.write / f"{name}.f64"
         path.write_bytes(generate_bytes(name, args.n_values, args.seed))
         print(f"wrote {path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -473,7 +589,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             kind = "inline" if entry.inline_index else "reused"
             print(f"{i:4d} {entry.offset:10d} {entry.length:9d} "
                   f"{entry.n_values:9d} {kind:>7s} {entry.index_base:5d}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -485,7 +601,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     args.output.write_bytes(data)
     print(f"extracted {count} values ({len(data)} bytes) "
           f"starting at value {args.start}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
@@ -497,7 +613,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         if IndexReusePolicy(args.index_policy) is not IndexReusePolicy.PER_CHUNK:
             print("error: --auto requires --index-policy per-chunk",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         with PrimacyFileWriter(
             args.output, planner=_planner_config(args), workers=workers
         ) as writer:
@@ -506,7 +622,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         print(f"{len(data)} -> {stats.container_bytes} bytes  "
               f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}")
         _print_decisions(writer.decisions)
-        return 0
+        return EXIT_OK
     config = PrimacyConfig(
         codec=args.codec,
         chunk_bytes=args.chunk_bytes,
@@ -517,7 +633,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     stats = writer.stats
     print(f"{len(data)} -> {stats.container_bytes} bytes  "
           f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_probe(args: argparse.Namespace) -> int:
@@ -542,7 +658,7 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         )
         print(f"model verdict at theta={args.network_mbps} MB/s, "
               f"rho={args.rho:g}: {'COMPRESS' if verdict else 'WRITE RAW'}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -556,13 +672,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"PRIF ok: {reader.n_chunks} chunks, "
                   f"{reader.n_values} values, {len(restored)} bytes, "
                   "all checksums verified")
-        return 0
+        return EXIT_OK
     if data[:4] == b"PRIM":
         restored = PrimacyCompressor().decompress(data)
         print(f"PRIM ok: {len(restored)} bytes, all checksums verified")
-        return 0
+        return EXIT_OK
     print("error: not a PRIM or PRIF container", file=sys.stderr)
-    return 1
+    return EXIT_ERROR
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
@@ -570,7 +686,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
     report = fsck(args.input)
     print(report.summary())
-    return 0 if report.ok else 2
+    return EXIT_OK if report.ok else EXIT_USAGE
 
 
 def _cmd_salvage(args: argparse.Namespace) -> int:
@@ -581,10 +697,10 @@ def _cmd_salvage(args: argparse.Namespace) -> int:
         result = salvage_prif(args.input, args.output)
     except CodecError as exc:
         print(f"error: nothing salvageable: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     print(result.summary())
     print(f"wrote {args.output}")
-    return 0 if result.n_recovered else 1
+    return EXIT_OK if result.n_recovered else EXIT_ERROR
 
 
 def _explain_rule(code: str) -> int:
@@ -595,7 +711,7 @@ def _explain_rule(code: str) -> int:
     if rule is None:
         known = ", ".join(sorted(catalog))
         print(f"unknown rule {code!r}; known: {known}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     def _example(kind: str, fallback: str) -> tuple[str, str]:
         # Prefer the repo's fixture file (the one the rule's own tests
@@ -622,7 +738,7 @@ def _explain_rule(code: str) -> int:
         print()
         print(f"--- {label} ({source}) ---")
         print(text.rstrip("\n"))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -649,7 +765,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule in rules:
             print(f"{rule.code}  {rule.title}")
             print(f"       {rule.rationale}")
-        return 0
+        return EXIT_OK
 
     def _codes(text: str | None) -> list[str] | None:
         if text is None:
@@ -682,12 +798,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
     except LintError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if args.write_baseline is not None:
         count = write_baseline(args.write_baseline, findings)
         print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
-        return 0
+        return EXIT_OK
 
     report = (
         format_findings_json(findings)
@@ -696,10 +812,138 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     print(report)
     return (
-        1
+        EXIT_ERROR
         if any(f.severity is Severity.ERROR for f in findings)
-        else 0
+        else EXIT_OK
     )
+
+
+def _parse_address(text: str) -> tuple[str, int] | None:
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        return None
+    return host, int(port_text)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeConfig, serve
+
+    kwargs: dict = {}
+    for name in (
+        "max_payload_bytes", "max_inflight_bytes", "max_inflight_requests"
+    ):
+        value = getattr(args, name)
+        if value is not None:
+            kwargs[name] = value
+    if args.drain_checkpoint is not None:
+        kwargs["drain_checkpoint"] = str(args.drain_checkpoint)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            quota_bps=args.quota_bps,
+            quota_burst_bytes=args.quota_burst_bytes,
+            drain_timeout=args.drain_timeout,
+            **kwargs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    def announce(address: tuple[str, int]) -> None:
+        host, port = address
+        print(f"primacy serve listening on {host}:{port}", flush=True)
+
+    try:
+        serve(config, announce)
+    except OSError as exc:
+        # Binding failures surface before announce() -- a supervisor
+        # watching exit codes can tell "port taken" from a crash.
+        print(f"error: serve failed to start: {exc}", file=sys.stderr)
+        return EXIT_SERVE_STARTUP
+    return EXIT_OK
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.linearize import Linearization as _Lin
+    from repro.serve import RequestConfig, ServeClient
+
+    address = _parse_address(args.connect)
+    if address is None:
+        print("error: --connect must be HOST:PORT", file=sys.stderr)
+        return EXIT_USAGE
+    with ServeClient(*address) as client:
+        if args.client_command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "stat":
+            print(json.dumps(client.stat(), indent=2, sort_keys=True))
+            return EXIT_OK
+        data = args.input.read_bytes()
+        if args.client_command == "compress":
+            config = RequestConfig(
+                codec=args.codec,
+                chunk_bytes=args.chunk_bytes,
+                high_bytes=args.high_bytes,
+                linearization=(
+                    _Lin.COLUMN
+                    if args.linearization == "column"
+                    else _Lin.ROW
+                ),
+                theta_milli=int(round(args.network_mbps * 1000)),
+            )
+            out = client.compress(
+                data, config=config, auto=args.auto, tenant=args.tenant
+            )
+        else:
+            out = client.decompress(data, tenant=args.tenant)
+        args.output.write_bytes(out)
+        print(f"{len(data)} -> {len(out)} bytes")
+    return EXIT_OK
+
+
+def _remote_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    address = _parse_address(args.remote)
+    if address is None:
+        print("error: --remote must be HOST:PORT", file=sys.stderr)
+        return EXIT_USAGE
+    with ServeClient(*address) as client:
+        doc = client.stat()
+    if args.as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return EXIT_OK
+    server = doc.get("server", {})
+    engine = doc.get("engine", {})
+    print(f"remote:    {args.remote}")
+    print(
+        f"requests:  acknowledged={server.get('acknowledged', 0)}  "
+        f"answered={server.get('answered', 0)}  "
+        f"in-flight={server.get('inflight_requests', 0)}"
+    )
+    print(
+        f"bytes:     in={server.get('bytes_in', 0)}  "
+        f"out={server.get('bytes_out', 0)}  "
+        f"in-flight={server.get('inflight_bytes', 0)}"
+    )
+    print(
+        f"queue:     depth={server.get('queue_depth', 0)}  "
+        f"uptime={server.get('uptime_seconds', 0.0):.1f}s  "
+        f"draining={server.get('draining', False)}"
+    )
+    print(
+        f"engine:    workers={engine.get('workers', 0)}  "
+        f"tasks={engine.get('tasks', 0)}  "
+        f"busy={engine.get('busy_fraction', 0.0):.1%}"
+    )
+    return EXIT_OK
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -707,12 +951,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     from repro import obs
 
+    if args.remote is not None:
+        if args.input is not None or args.dataset is not None:
+            print(
+                "error: --remote excludes INPUT/--dataset",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        return _remote_stats(args)
     if (args.input is None) == (args.dataset is None):
         print(
             "error: provide exactly one of INPUT or --dataset",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if args.dataset is not None:
         data = generate_bytes(args.dataset, args.n_values, args.seed)
         source = f"dataset {args.dataset!r} ({args.n_values} values)"
@@ -747,12 +999,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "compressed_bytes": len(out),
         }
         print(json.dumps(report, indent=2, sort_keys=True))
-        return 0
+        return EXIT_OK
     ratio = len(data) / len(out) if out else 1.0
     print(f"workload:  {source}")
     print(f"bytes:     {len(data)} -> {len(out)}  CR={ratio:.3f}")
     print(obs.report.render_text(report))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -762,7 +1014,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.check and args.baseline is None:
         print("error: --check requires --baseline", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     datasets = (
         [d.strip() for d in args.datasets.split(",") if d.strip()]
         if args.datasets is not None
@@ -794,11 +1046,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for message in regressions:
                 print(f"REGRESSION {message}", file=sys.stderr)
             if args.check:
-                return 3
+                return EXIT_BENCH_REGRESSION
         else:
             print(f"no regressions vs {args.baseline} "
                   f"(threshold {args.threshold:.0%})")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -810,7 +1062,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -835,7 +1087,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
     for label, out in rows:
         print(f"{label:14s} tau = {out.throughput_mbps(inputs):8.2f} MB/s "
               f"(t_total = {out.t_total:.4f}s)")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -848,7 +1100,7 @@ def main(argv: list[str] | None = None) -> int:
     # non-zero exit status, typed or not.
     except Exception as exc:  # pragma: no cover - CLI guard  # primacy-lint: disable=PL001 -- converted to exit status
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -531,7 +531,7 @@ class EncodeDecodeSymmetryRule(Rule):
         "comparing the two token sequences catches the drift at lint "
         "time."
     )
-    analysis_version = 1
+    analysis_version = 2
     requires_project = True
     example_bad = (
         "def encode_rec(name: bytes) -> bytes:\n"
@@ -646,8 +646,15 @@ class EncodeDecodeSymmetryRule(Rule):
         self.consumer_names = {
             name
             for name in project.by_name
-            if name.startswith(("decode_", "parse_", "_uvarint"))
-            or name in ("_uvarint", "_named_bytes", "_header_uvarint")
+            if name.startswith(("decode_", "parse_", "_uvarint", "checked_"))
+            or name
+            in (
+                "_uvarint",
+                "_named_bytes",
+                "_header_uvarint",
+                "_decode_preamble",
+                "_sized_field",
+            )
         }
         for encoder, decoder in self._pairs(project):
             yield from self._compare(encoder, decoder)

@@ -543,6 +543,43 @@ class ParallelEngine:
         if self._ledger is not None:
             self._ledger.report("ParallelEngine.close", owner=id(self))
 
+    def worker_pids(self) -> list[int]:
+        """Pids of the live worker processes (empty when inline).
+
+        The serve daemon's fault-injection tests use this to SIGKILL a
+        worker mid-request; production code should not need it.
+        """
+        return [p.pid for p in self._procs if p.pid is not None]
+
+    def recover(self) -> int:
+        """Fail every in-flight task and make the engine servable again.
+
+        Called after :class:`EngineError` (a worker died, the pool is in
+        an unknown state): the surviving workers are halted, results
+        already buffered are absorbed normally, every task still pending
+        afterwards is stashed as a failure (its :meth:`pop` raises
+        :class:`EngineError` instead of blocking forever), and the pool
+        restarts lazily on the next submit.  Returns the number of tasks
+        that were failed.
+
+        This is the serving-layer lifecycle contract: one SIGKILLed
+        worker costs the requests that were in flight, never the daemon.
+        """
+        if self._pid is not None and self._pid != os.getpid():
+            self._reset_after_fork()
+            return 0
+        self._halt_procs()
+        lost = list(self._pending)
+        for task_id in lost:
+            self._pending.discard(task_id)
+            self._release_segment(task_id)
+            self._done[task_id] = (
+                False,
+                (None, "worker died before completing this task "
+                       "(pool recovered)"),
+            )
+        return len(lost)
+
     def _halt_procs(self) -> None:
         procs, self._procs = self._procs, []
         if procs and self._task_q is not None:

@@ -1,0 +1,64 @@
+"""``repro.serve`` -- the long-running compression daemon.
+
+Everything before this package ran as a one-shot batch CLI; this is the
+serving layer the ROADMAP's "millions of users" north star asks for.
+``primacy serve`` starts an asyncio daemon that speaks a length-prefixed
+binary protocol (plus a thin HTTP/JSON shim on the same port) for
+``compress`` / ``decompress`` / ``stat`` / ``health``:
+
+* requests are split into chunk-sized work units and fanned through one
+  shared :class:`~repro.parallel.engine.ParallelEngine` (the
+  :class:`~repro.serve.bridge.EngineBridge` owns it on a dispatcher
+  thread, so the event loop never blocks on a pool pop);
+* responses are **byte-identical** to the one-shot CLI path -- a
+  ``compress`` request returns exactly the container
+  ``primacy compress`` would have written, including ``--auto`` planned
+  containers (:mod:`repro.planner` probes run per request in the
+  workers);
+* admission control and backpressure key off always-on
+  :class:`~repro.obs.MetricsRegistry` gauges (queue depth, in-flight
+  bytes, worker saturation) with per-tenant token-bucket quotas
+  (:mod:`repro.serve.quota`);
+* SIGTERM starts a graceful drain: the listener closes, every
+  acknowledged request still completes, and the final server state is
+  sealed into a PRCK checkpoint through the existing
+  :mod:`repro.checkpoint` machinery.
+
+See ``docs/SERVE.md`` for the protocol specification and lifecycle.
+"""
+
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.daemon import PrimacyServer, ServeConfig
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    Op,
+    Request,
+    RequestConfig,
+    Response,
+    ServeError,
+    Status,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.serve.quota import TokenBucket
+
+__all__ = [
+    "AsyncServeClient",
+    "Op",
+    "PrimacyServer",
+    "PROTOCOL_VERSION",
+    "Request",
+    "RequestConfig",
+    "Response",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "Status",
+    "TokenBucket",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+]

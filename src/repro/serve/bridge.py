@@ -1,0 +1,199 @@
+"""Asyncio facade over the blocking :class:`ParallelEngine`.
+
+The engine is deliberately single-owner: ``submit``/``pop`` block, stash
+out-of-order completions, and must all happen on one thread.  The serve
+daemon instead runs an event loop that must never block.  The bridge
+reconciles the two with one dispatcher thread that *owns* the engine:
+
+* the event loop calls :meth:`EngineBridge.submit`, which enqueues the
+  work item and immediately returns an :class:`asyncio.Future`;
+* the dispatcher fills the engine's ``max_pending`` window from the
+  queue, then pops the oldest task (completions for younger tasks are
+  stashed by the engine, so the window drains in order) and resolves
+  the future back on its loop via ``call_soon_threadsafe``;
+* a typed :class:`~repro.compressors.base.CodecError` from a task fails
+  only that task's future; an :class:`EngineError` (a worker died)
+  fails the affected window via :meth:`ParallelEngine.recover` and the
+  pool restarts lazily on the next submit -- the daemon keeps serving.
+
+Shutdown is a sentinel: the queue is processed to the end first, so
+every task submitted before :meth:`close` still completes -- the
+ordering guarantee the SIGTERM drain path builds on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.parallel.engine import EngineError, ParallelEngine
+
+__all__ = ["EngineBridge"]
+
+#: How long the dispatcher batches new submissions before popping the
+#: oldest in-flight task while the window is only partially full.
+_BATCH_WAIT = 0.002
+
+
+@dataclass
+class _Work:
+    kind: str
+    data: bytes | memoryview
+    config: object | None
+    future: "asyncio.Future[object]"
+    loop: asyncio.AbstractEventLoop
+
+
+class EngineBridge:
+    """Dispatcher thread marrying one :class:`ParallelEngine` to asyncio.
+
+    The bridge takes ownership of ``engine``: it is used exclusively on
+    the dispatcher thread and closed when the bridge closes.  Callers
+    submit from coroutines (any number of tasks, any event loop) and
+    await the returned futures.
+    """
+
+    def __init__(self, engine: ParallelEngine) -> None:
+        self._engine = engine
+        self._queue: "queue.Queue[_Work | None]" = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._window_size = 0
+
+    @property
+    def engine(self) -> ParallelEngine:
+        """The owned engine (dispatcher-thread property reads only)."""
+        return self._engine
+
+    @property
+    def pending(self) -> int:
+        """Tasks queued or in flight right now (approximate)."""
+        return self._queue.qsize() + self._window_size
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent; submit also starts)."""
+        with self._lock:
+            self._ensure_thread()
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="primacy-serve-engine", daemon=True
+            )
+            self._thread.start()
+
+    def submit(
+        self,
+        kind: str,
+        data: bytes | memoryview,
+        config: object | None = None,
+    ) -> "asyncio.Future[object]":
+        """Queue one engine task from a running event loop.
+
+        Returns a future resolving to the task's engine result (or
+        failing with the task's typed error).  Must be called from a
+        coroutine; the future belongs to that coroutine's loop.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[object]" = loop.create_future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine bridge is closed")
+            self._ensure_thread()
+            self._queue.put(_Work(kind, data, config, future, loop))
+        return future
+
+    def close(self) -> None:
+        """Drain every queued task, stop the dispatcher, close the engine.
+
+        Blocking (joins the thread); call it off the event loop, e.g.
+        via ``asyncio.to_thread``.  Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            thread = self._thread
+        if thread is None:
+            self._engine.close()
+            return
+        if not already:
+            self._queue.put(None)
+        thread.join()
+
+    # -- dispatcher thread ---------------------------------------------
+
+    def _run(self) -> None:
+        engine = self._engine
+        window: "deque[tuple[int, _Work]]" = deque()
+        stopping = False
+        while True:
+            while not stopping and len(window) < engine.max_pending:
+                try:
+                    if window:
+                        item = self._queue.get(timeout=_BATCH_WAIT)
+                    else:
+                        item = self._queue.get()
+                except queue.Empty:
+                    break
+                if item is None:
+                    stopping = True
+                    break
+                self._dispatch(item, window)
+            if not window:
+                if stopping:
+                    break
+                continue
+            task_id, work = window.popleft()
+            self._window_size = len(window)
+            try:
+                result = engine.pop(task_id)
+            except EngineError as exc:
+                # A worker died.  Fail this task, convert the rest of
+                # the window into stashed failures (their pops raise
+                # EngineError immediately instead of hanging), and let
+                # the pool restart lazily on the next submit.
+                self._reject(work, exc)
+                engine.recover()
+                continue
+            except Exception as exc:  # primacy-lint: disable=PL001 -- typed CodecErrors forwarded to the awaiting client
+                self._reject(work, exc)
+                continue
+            self._resolve(work, result)
+        engine.close()
+
+    def _dispatch(
+        self, work: _Work, window: "deque[tuple[int, _Work]]"
+    ) -> None:
+        try:
+            task_id = self._engine.submit(work.kind, work.data, work.config)
+        except Exception as exc:  # primacy-lint: disable=PL001 -- submit errors belong to the one awaiting caller
+            self._reject(work, exc)
+            return
+        window.append((task_id, work))
+        self._window_size = len(window)
+
+    @staticmethod
+    def _resolve(work: _Work, result: object) -> None:
+        def _set() -> None:
+            if not work.future.done():
+                work.future.set_result(result)
+
+        try:
+            work.loop.call_soon_threadsafe(_set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    @staticmethod
+    def _reject(work: _Work, exc: BaseException) -> None:
+        def _set() -> None:
+            if not work.future.done():
+                work.future.set_exception(exc)
+
+        try:
+            work.loop.call_soon_threadsafe(_set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass

@@ -1,0 +1,232 @@
+"""Client-side bindings for the serve daemon's binary protocol.
+
+:class:`ServeClient` is the blocking client the CLI (``primacy client``)
+and most tests use; :class:`AsyncServeClient` is the same surface over
+asyncio streams for high-concurrency callers (the stress tests drive 16+
+of them on one loop).  Both speak only the binary protocol -- the HTTP
+shim needs no client.
+
+Both clients raise :class:`~repro.serve.protocol.ServeError` for non-OK
+responses and the usual typed
+:class:`~repro.compressors.base.CorruptionError` taxonomy if the server
+ever sends malformed frames.  Responses are matched to requests by
+``request_id``; requests on one client are serialized (no pipelining),
+so use one client per concurrent caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from collections import deque
+
+from repro.compressors.base import CorruptionError
+from repro.serve.protocol import (
+    FLAG_AUTO,
+    Op,
+    Request,
+    RequestConfig,
+    Response,
+    decode_response,
+    encode_request,
+    response_assembler,
+)
+
+__all__ = ["ServeClient", "AsyncServeClient"]
+
+_RECV_BYTES = 256 * 1024
+
+
+class _RequestIds:
+    def __init__(self) -> None:
+        self._next = 1
+
+    def take(self) -> int:
+        rid = self._next
+        self._next += 1
+        return rid
+
+
+def _check_reply(request: Request, response: Response) -> Response:
+    if response.request_id not in (0, request.request_id):
+        raise CorruptionError(
+            f"response for request {response.request_id}, "
+            f"expected {request.request_id}",
+            region="response",
+        )
+    return response
+
+
+class ServeClient:
+    """Blocking client over one TCP connection (context manager)."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._assembler = response_assembler()
+        self._frames: deque[bytes] = deque()
+        self._ids = _RequestIds()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def request(self, request: Request) -> Response:
+        """Send one request and block for its response (no status check)."""
+        self._sock.sendall(encode_request(request))
+        while not self._frames:
+            data = self._sock.recv(_RECV_BYTES)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._frames.extend(self._assembler.feed(data))
+        return _check_reply(request, decode_response(self._frames.popleft()))
+
+    # -- operations -----------------------------------------------------
+
+    def compress(
+        self,
+        payload: bytes,
+        config: RequestConfig | None = None,
+        auto: bool = False,
+        tenant: str = "",
+    ) -> bytes:
+        """Compress ``payload``; returns the PRIM container bytes."""
+        request = Request(
+            op=Op.COMPRESS,
+            request_id=self._ids.take(),
+            payload=payload,
+            tenant=tenant,
+            flags=FLAG_AUTO if auto else 0,
+            config=config,
+        )
+        return self.request(request).raise_for_status().payload
+
+    def decompress(self, payload: bytes, tenant: str = "") -> bytes:
+        """Decompress a PRIM container; returns the original bytes."""
+        request = Request(
+            op=Op.DECOMPRESS,
+            request_id=self._ids.take(),
+            payload=payload,
+            tenant=tenant,
+        )
+        return self.request(request).raise_for_status().payload
+
+    def stat(self) -> dict:
+        """The server's stat document (counters, engine summary)."""
+        request = Request(op=Op.STAT, request_id=self._ids.take())
+        response = self.request(request).raise_for_status()
+        return json.loads(response.payload.decode("utf-8"))
+
+    def health(self) -> dict:
+        """The server's health document."""
+        request = Request(op=Op.HEALTH, request_id=self._ids.take())
+        response = self.request(request).raise_for_status()
+        return json.loads(response.payload.decode("utf-8"))
+
+
+class AsyncServeClient:
+    """Asyncio client over one TCP connection.
+
+    Use :meth:`open` to construct::
+
+        client = await AsyncServeClient.open(host, port)
+        container = await client.compress(data)
+        await client.close()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._assembler = response_assembler()
+        self._frames: deque[bytes] = deque()
+        self._ids = _RequestIds()
+
+    @classmethod
+    async def open(
+        cls, host: str, port: int
+    ) -> "AsyncServeClient":
+        """Connect and return a ready client."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def request(self, request: Request) -> Response:
+        """Send one request and await its response (no status check)."""
+        self._writer.write(encode_request(request))
+        await self._writer.drain()
+        while not self._frames:
+            data = await self._reader.read(_RECV_BYTES)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._frames.extend(self._assembler.feed(data))
+        return _check_reply(request, decode_response(self._frames.popleft()))
+
+    # -- operations -----------------------------------------------------
+
+    async def compress(
+        self,
+        payload: bytes,
+        config: RequestConfig | None = None,
+        auto: bool = False,
+        tenant: str = "",
+    ) -> bytes:
+        """Compress ``payload``; returns the PRIM container bytes."""
+        request = Request(
+            op=Op.COMPRESS,
+            request_id=self._ids.take(),
+            payload=payload,
+            tenant=tenant,
+            flags=FLAG_AUTO if auto else 0,
+            config=config,
+        )
+        return (await self.request(request)).raise_for_status().payload
+
+    async def decompress(self, payload: bytes, tenant: str = "") -> bytes:
+        """Decompress a PRIM container; returns the original bytes."""
+        request = Request(
+            op=Op.DECOMPRESS,
+            request_id=self._ids.take(),
+            payload=payload,
+            tenant=tenant,
+        )
+        return (await self.request(request)).raise_for_status().payload
+
+    async def stat(self) -> dict:
+        """The server's stat document."""
+        request = Request(op=Op.STAT, request_id=self._ids.take())
+        response = (await self.request(request)).raise_for_status()
+        return json.loads(response.payload.decode("utf-8"))
+
+    async def health(self) -> dict:
+        """The server's health document."""
+        request = Request(op=Op.HEALTH, request_id=self._ids.take())
+        response = (await self.request(request)).raise_for_status()
+        return json.loads(response.payload.decode("utf-8"))

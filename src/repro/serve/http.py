@@ -1,0 +1,213 @@
+"""Minimal HTTP/JSON shim over the serve daemon.
+
+The binary protocol is the real interface; this shim exists so a
+``curl`` (or a load balancer's health probe) can talk to the same port
+without a client library.  The daemon sniffs the first four bytes of a
+connection and routes HTTP verbs here.
+
+Routes::
+
+    GET  /health              -> 200 JSON health document
+    GET  /stat                -> 200 JSON stat document
+    POST /compress[?opts]     -> 200 application/octet-stream container
+    POST /decompress          -> 200 application/octet-stream bytes
+
+``/compress`` query options map onto
+:class:`~repro.serve.protocol.RequestConfig`: ``codec``,
+``chunk_bytes``, ``high_bytes``, ``linearization`` (``column``/``row``),
+``theta_milli``, plus ``auto=1`` for planner-driven compression and
+``tenant=NAME`` for quota accounting.  Non-OK statuses map onto HTTP:
+400 bad request, 422 corrupt payload, 429 quota, 503 busy/draining,
+500 internal.  One request per connection (``Connection: close``);
+chunked transfer encoding is not supported.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.linearize import Linearization
+from repro.serve.protocol import (
+    FLAG_AUTO,
+    Op,
+    Request,
+    RequestConfig,
+    Response,
+    Status,
+)
+
+if TYPE_CHECKING:
+    import asyncio
+
+    from repro.serve.daemon import PrimacyServer
+
+__all__ = ["handle_http"]
+
+_MAX_HEAD_BYTES = 64 * 1024
+_READ_CHUNK = 256 * 1024
+
+_HTTP_STATUS: dict[Status, tuple[int, str]] = {
+    Status.OK: (200, "OK"),
+    Status.BAD_REQUEST: (400, "Bad Request"),
+    Status.CORRUPT: (422, "Unprocessable Entity"),
+    Status.BUSY: (503, "Service Unavailable"),
+    Status.QUOTA: (429, "Too Many Requests"),
+    Status.DRAINING: (503, "Service Unavailable"),
+    Status.INTERNAL: (500, "Internal Server Error"),
+}
+
+
+def _render(
+    code: int, reason: str, content_type: str, body: bytes
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {code} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _error(code: int, reason: str, detail: str) -> bytes:
+    body = json.dumps({"error": reason, "detail": detail}).encode("utf-8")
+    return _render(code, reason, "application/json", body)
+
+
+def _config_from_query(params: dict[str, list[str]]) -> RequestConfig | None:
+    """Build a RequestConfig from query options (None: server defaults).
+
+    Raises :class:`ValueError` on malformed values; the caller maps
+    that to a 400.
+    """
+    known = {"codec", "chunk_bytes", "high_bytes", "linearization",
+             "theta_milli"}
+    if not (known & params.keys()):
+        return None
+    defaults = RequestConfig()
+    lin_name = params.get("linearization", [None])[0]
+    if lin_name is None:
+        linearization = defaults.linearization
+    elif lin_name in ("column", "row"):
+        linearization = (
+            Linearization.COLUMN if lin_name == "column" else Linearization.ROW
+        )
+    else:
+        raise ValueError(f"linearization must be column/row, not {lin_name!r}")
+    return RequestConfig(
+        codec=params.get("codec", [defaults.codec])[0],
+        chunk_bytes=int(
+            params.get("chunk_bytes", [str(defaults.chunk_bytes)])[0]
+        ),
+        high_bytes=int(
+            params.get("high_bytes", [str(defaults.high_bytes)])[0]
+        ),
+        linearization=linearization,
+        theta_milli=int(
+            params.get("theta_milli", [str(defaults.theta_milli)])[0]
+        ),
+    )
+
+
+async def _read_message(
+    head: bytes, reader: "asyncio.StreamReader"
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Read one full HTTP message; None means the client went away."""
+    buf = head
+    while b"\r\n\r\n" not in buf:
+        if len(buf) > _MAX_HEAD_BYTES:
+            raise ValueError("request head too large")
+        chunk = await reader.read(_READ_CHUNK)
+        if not chunk:
+            return None
+        buf += chunk
+    head_blob, _, rest = buf.partition(b"\r\n\r\n")
+    lines = head_blob.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ValueError("chunked transfer encoding is not supported")
+    length = int(headers.get("content-length", "0"))
+    body = rest
+    while len(body) < length:
+        chunk = await reader.read(_READ_CHUNK)
+        if not chunk:
+            return None
+        body += chunk
+    return method.upper(), target, headers, body[:length]
+
+
+async def handle_http(
+    server: "PrimacyServer",
+    head: bytes,
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+) -> None:
+    """Serve one HTTP request on a freshly sniffed connection."""
+    try:
+        message = await _read_message(head, reader)
+    except ValueError as exc:
+        writer.write(_error(400, "Bad Request", str(exc)))
+        await writer.drain()
+        return
+    if message is None:
+        return
+    method, target, _headers, body = message
+    url = urlsplit(target)
+    params = parse_qs(url.query)
+    route = (method, url.path)
+    if route == ("GET", "/health"):
+        request = Request(op=Op.HEALTH, request_id=0)
+    elif route in (("GET", "/stat"), ("GET", "/stats")):
+        request = Request(op=Op.STAT, request_id=0)
+    elif route in (("POST", "/compress"), ("POST", "/decompress")):
+        try:
+            config = _config_from_query(params)
+        except ValueError as exc:
+            writer.write(_error(400, "Bad Request", str(exc)))
+            await writer.drain()
+            return
+        flags = FLAG_AUTO if params.get("auto", ["0"])[0] in ("1", "true") else 0
+        request = Request(
+            op=Op.COMPRESS if url.path == "/compress" else Op.DECOMPRESS,
+            request_id=0,
+            payload=body,
+            tenant=params.get("tenant", [""])[0],
+            flags=flags,
+            config=config,
+        )
+    else:
+        writer.write(_error(404, "Not Found", f"no route {method} {url.path}"))
+        await writer.drain()
+        return
+    response = await server.handle_request(request)
+    writer.write(_to_http(request, response))
+    await writer.drain()
+
+
+def _to_http(request: Request, response: Response) -> bytes:
+    code, reason = _HTTP_STATUS[response.status]
+    if not response.ok:
+        # The JSON body carries the *protocol* status name, which is
+        # finer-grained than the HTTP code (BUSY and DRAINING both map
+        # to 503, but a client should only retry one of them).
+        body = json.dumps(
+            {"error": response.status.name, "detail": response.detail}
+        ).encode("utf-8")
+        return _render(code, reason, "application/json", body)
+    if request.op in (Op.HEALTH, Op.STAT):
+        return _render(code, reason, "application/json", response.payload)
+    return _render(
+        code, reason, "application/octet-stream", response.payload
+    )

@@ -1,0 +1,122 @@
+"""Per-tenant admission quotas for the serve daemon.
+
+A classic token bucket over *payload bytes*: each tenant accumulates
+``rate_bps`` tokens per second up to a ``burst_bytes`` ceiling, and a
+request is admitted only if its payload fits in the bucket right now.
+Refusals are cheap (no queueing, no timers) and typed
+(:attr:`repro.serve.protocol.Status.QUOTA`), so a well-behaved client
+can back off and retry.
+
+The clock is injectable for tests; production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+__all__ = ["TokenBucket", "TenantQuotas"]
+
+
+class TokenBucket:
+    """Token bucket admitting ``take(n)`` while tokens remain.
+
+    Parameters
+    ----------
+    rate_bps:
+        Refill rate in tokens (bytes) per second.
+    burst_bytes:
+        Bucket capacity; defaults to one second's worth of tokens.
+        Buckets start full, so a cold tenant can always burst.
+    clock:
+        Monotonic time source (seconds).
+    """
+
+    def __init__(
+        self,
+        rate_bps: float,
+        burst_bytes: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.rate_bps = float(rate_bps)
+        self.burst_bytes = float(
+            burst_bytes if burst_bytes is not None else rate_bps
+        )
+        if self.burst_bytes <= 0:
+            raise ValueError("burst_bytes must be positive")
+        self._clock = clock
+        self._tokens = self.burst_bytes
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._stamp, 0.0)
+        self._stamp = now
+        self._tokens = min(
+            self.burst_bytes, self._tokens + elapsed * self.rate_bps
+        )
+
+    def take(self, n: float) -> bool:
+        """Spend ``n`` tokens if available; returns whether it did."""
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            if n > self._tokens:
+                return False
+            self._tokens -= n
+            return True
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled on read)."""
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            return self._tokens
+
+
+class TenantQuotas:
+    """Lazy map of tenant name -> :class:`TokenBucket`.
+
+    ``rate_bps <= 0`` disables quota enforcement entirely (every
+    ``admit`` succeeds), which is the daemon's default.  The unnamed
+    tenant (``""``) gets its own bucket like any other, so anonymous
+    traffic cannot starve named tenants.
+    """
+
+    def __init__(
+        self,
+        rate_bps: float,
+        burst_bytes: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_bps = float(rate_bps)
+        self.burst_bytes = burst_bytes
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether quotas are being enforced."""
+        return self.rate_bps > 0
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The (lazily created) bucket for ``tenant``."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.rate_bps, self.burst_bytes, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str, n_bytes: int) -> bool:
+        """Whether ``tenant`` may spend ``n_bytes`` right now."""
+        if not self.enabled:
+            return True
+        return self.bucket(tenant).take(float(n_bytes))

@@ -35,6 +35,7 @@ fsync + atomic rename, and :mod:`repro.storage.verify` provides
 
 from repro.storage.format import FileInfo, ChunkEntry
 from repro.storage.reader import PrimacyFileReader
+from repro.storage.stream import FrameAssembler, encode_frame
 from repro.storage.verify import (
     FsckReport,
     SalvageResult,
@@ -48,6 +49,8 @@ __all__ = [
     "PrimacyFileReader",
     "FileInfo",
     "ChunkEntry",
+    "FrameAssembler",
+    "encode_frame",
     "FsckReport",
     "SalvageResult",
     "fsck",

@@ -28,6 +28,8 @@ __all__ = [
     "TRAILER_BYTES",
     "ChunkEntry",
     "FileInfo",
+    "checked_uvarint",
+    "checked_bytes",
     "encode_header",
     "decode_header",
     "encode_footer",
@@ -49,8 +51,15 @@ TRAILER_BYTES = 16
 _MIN_CHUNK_ROW_BYTES = 5
 
 
-def _uvarint(data, pos: int, what: str, region: str) -> tuple[int, int]:
-    """Decode one uvarint, normalizing failures to typed errors."""
+def checked_uvarint(data, pos: int, what: str, region: str) -> tuple[int, int]:
+    """Decode one uvarint, normalizing failures to typed errors.
+
+    Shared by the PRIF header/footer decoders and the ``repro.serve``
+    wire protocol (which frames socket messages with the same varint
+    discipline): a short buffer raises :class:`TruncationError` and a
+    structurally bad varint raises :class:`CorruptionError`, both
+    carrying ``region`` and the byte offset of the divergence.
+    """
     try:
         return decode_uvarint(data, pos)
     except ValueError as exc:
@@ -60,7 +69,7 @@ def _uvarint(data, pos: int, what: str, region: str) -> tuple[int, int]:
         ) from exc
 
 
-def _named_bytes(
+def checked_bytes(
     data, pos: int, length: int, what: str, region: str
 ) -> tuple[bytes, int]:
     """Slice ``length`` bytes with an explicit bounds check."""
@@ -73,6 +82,11 @@ def _named_bytes(
             offset=pos,
         )
     return raw, pos + length
+
+
+# Historical private names; the decoders below predate the public export.
+_uvarint = checked_uvarint
+_named_bytes = checked_bytes
 
 
 @dataclass(frozen=True)
@@ -157,12 +171,12 @@ def decode_header(data: bytes) -> tuple[PrimacyConfig, int, bool]:
             offset=5,
         )
     pos = 6
-    name_len, pos = _uvarint(data, pos, "codec name length", "header")
-    raw_name, pos = _named_bytes(data, pos, name_len, "codec name", "header")
-    word_bytes, pos = _uvarint(data, pos, "word width", "header")
-    high_bytes, pos = _uvarint(data, pos, "high-order width", "header")
-    chunk_bytes, pos = _uvarint(data, pos, "chunk size", "header")
-    policy_len, pos = _uvarint(data, pos, "index policy length", "header")
+    name_len, pos = checked_uvarint(data, pos, "codec name length", "header")
+    raw_name, pos = checked_bytes(data, pos, name_len, "codec name", "header")
+    word_bytes, pos = checked_uvarint(data, pos, "word width", "header")
+    high_bytes, pos = checked_uvarint(data, pos, "high-order width", "header")
+    chunk_bytes, pos = checked_uvarint(data, pos, "chunk size", "header")
+    policy_len, pos = checked_uvarint(data, pos, "index policy length", "header")
     raw_policy, pos = _named_bytes(
         data, pos, policy_len, "index policy name", "header"
     )

@@ -1,0 +1,1 @@
+"""Protocol-level test harness for the ``primacy serve`` daemon."""

@@ -1,0 +1,35 @@
+"""Shared fixtures for the serve suite.
+
+One module-scoped multi-worker server carries the happy-path and
+stress tests (pool startup is the expensive part); admission-control
+tests build their own cheap ``workers=1`` servers so refusals never
+perturb the shared one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.primacy import PrimacyConfig
+from repro.datasets import generate_bytes
+from repro.serve.daemon import ServeConfig
+
+from tests.serve.harness import ServerHarness
+
+#: Small chunks so a few-KiB payload spans several chunks (exercising
+#: fan-out and reassembly) without slowing the suite down.
+BASE_CONFIG = PrimacyConfig(chunk_bytes=2048)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A live multi-worker server shared across a test module."""
+    config = ServeConfig(workers=2, base=BASE_CONFIG)
+    with ServerHarness(config) as harness:
+        yield harness
+
+
+@pytest.fixture(scope="session")
+def payload() -> bytes:
+    """A multi-chunk compressible payload (float64 temperature field)."""
+    return generate_bytes("obs_temp", 12 * 1024, seed=13)

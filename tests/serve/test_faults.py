@@ -1,0 +1,201 @@
+"""Process-level fault injection for the serve daemon (``faults``).
+
+Three failure families, each pinned to a typed, bounded outcome:
+
+* **worker death** -- SIGKILL every pool worker mid-service: the
+  affected request answers ``INTERNAL`` (typed, never a hang), the
+  engine recovers, and the very next request succeeds on a fresh pool;
+* **client death** -- a client that vanishes mid-frame (or right after
+  sending) costs nothing: the server keeps answering other clients;
+* **SIGTERM drain** -- a real ``primacy serve`` subprocess under
+  concurrent load: every *acknowledged* request completes with a valid
+  container, the process exits 0, and the drain checkpoint's books
+  balance (acknowledged == answered, nothing in flight).
+
+Marked ``faults`` -- excluded from the default run, exercised by the CI
+fault-injection job (``pytest -m faults``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import CheckpointReader
+from repro.core.primacy import PrimacyCompressor
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeConfig
+from repro.serve.protocol import RequestConfig, ServeError, Status
+
+from tests.serve.conftest import BASE_CONFIG
+from tests.serve.harness import ServerHarness
+
+pytestmark = pytest.mark.faults
+
+RC = RequestConfig(chunk_bytes=BASE_CONFIG.chunk_bytes)
+
+
+# -- worker death -------------------------------------------------------
+
+
+def test_sigkilled_workers_cost_one_request_not_the_daemon(payload):
+    config = ServeConfig(workers=2, base=BASE_CONFIG)
+    with ServerHarness(config) as harness:
+        with harness.client(timeout=120) as client:
+            # Healthy request first: starts the worker pool.
+            container = client.compress(payload, config=RC)
+            assert PrimacyCompressor(BASE_CONFIG).decompress(container) == (
+                payload
+            )
+            pids = harness.server.bridge.engine.worker_pids()
+            assert pids, "pool did not start"
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            # The next request rides the dead pool: typed INTERNAL.
+            with pytest.raises(ServeError) as err:
+                client.compress(payload, config=RC)
+            assert err.value.status is Status.INTERNAL
+            # The engine recovered: a fresh pool serves the next one.
+            container = client.compress(payload, config=RC)
+            assert PrimacyCompressor(BASE_CONFIG).decompress(container) == (
+                payload
+            )
+            assert client.health()["status"] == "ok"
+            assert client.stat()["server"]["inflight_requests"] == 0
+
+
+# -- client death -------------------------------------------------------
+
+
+def test_client_disconnect_mid_frame_leaves_server_healthy(server, payload):
+    host, port = server.address
+    from repro.serve.protocol import Op, Request, encode_request
+
+    frame = encode_request(
+        Request(op=Op.COMPRESS, request_id=1, payload=payload, config=RC)
+    )
+    # Half a frame, then vanish.
+    sock = socket.create_connection((host, port), timeout=10)
+    sock.sendall(frame[: len(frame) // 2])
+    sock.close()
+    # A full request, then vanish without reading the response.
+    sock = socket.create_connection((host, port), timeout=10)
+    sock.sendall(frame)
+    sock.close()
+    # Give the server a beat to notice both corpses, then prove it
+    # still serves: the in-flight work of the second corpse completes
+    # server-side and is simply discarded.
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            with server.client() as client:
+                assert client.decompress(
+                    client.compress(payload, config=RC)
+                ) == payload
+            break
+        except ConnectionError:  # pragma: no cover - transient
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+    with server.client() as client:
+        doc = client.stat()
+    assert doc["server"]["acknowledged"] == doc["server"]["answered"]
+
+
+# -- SIGTERM drain ------------------------------------------------------
+
+
+def _read_announce(proc: subprocess.Popen) -> tuple[str, int]:
+    assert proc.stdout is not None
+    line = proc.stdout.readline().decode("utf-8", "replace").strip()
+    # "primacy serve listening on HOST:PORT"
+    assert "listening on" in line, line
+    address = line.rsplit(" ", 1)[-1]
+    host, _, port = address.rpartition(":")
+    return host, int(port)
+
+
+def test_sigterm_drain_loses_no_acknowledged_request(tmp_path, payload):
+    checkpoint = tmp_path / "drain.prck"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--drain-checkpoint",
+            str(checkpoint),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+    )
+    try:
+        host, port = _read_announce(proc)
+        ok_containers: list[bytes] = []
+        refused = threading.Event()
+        lock = threading.Lock()
+        first_round = threading.Barrier(5)
+
+        def hammer() -> None:
+            try:
+                with ServeClient(host, port, timeout=120) as client:
+                    for round_no in range(50):
+                        container = client.compress(payload, config=RC)
+                        with lock:
+                            ok_containers.append(container)
+                        if round_no == 0:
+                            first_round.wait(timeout=60)
+            except ServeError as exc:
+                assert exc.status is Status.DRAINING
+                refused.set()
+            except (ConnectionError, OSError):
+                # The server hung up after the drain finished; every
+                # response it *sent* was already collected above.
+                pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        # Everyone has one answered request in the books; now pull the
+        # plug mid-storm.
+        first_round.wait(timeout=60)
+        proc.send_signal(signal.SIGTERM)
+        for t in threads:
+            t.join(timeout=120)
+        assert proc.wait(timeout=120) == 0
+    finally:
+        if proc.poll() is None:  # pragma: no cover - hung daemon
+            proc.kill()
+            proc.wait()
+
+    # Every container the server acknowledged came back complete.
+    decoder = PrimacyCompressor(BASE_CONFIG)
+    for container in ok_containers:
+        assert decoder.decompress(container) == payload
+
+    reader = CheckpointReader(checkpoint)
+    acknowledged = int(reader.read(0, "requests_acknowledged")[0])
+    answered = int(reader.read(0, "requests_answered")[0])
+    in_flight = int(reader.read(0, "requests_in_flight")[0])
+    assert acknowledged == answered, "drain abandoned acknowledged work"
+    assert in_flight == 0
+    assert acknowledged == len(ok_containers), (
+        f"server acknowledged {acknowledged} requests but clients got "
+        f"{len(ok_containers)} OK responses"
+    )

@@ -1,0 +1,214 @@
+"""Property suite for the serve wire protocol.
+
+The protocol's adversarial contract, stated as properties:
+
+* every encodable :class:`Request`/:class:`Response` round-trips
+  bit-exactly through the frame assembler regardless of how the
+  transport slices the byte stream;
+* every *truncation* of a valid frame body raises a typed
+  :class:`CorruptionError` (usually its :class:`TruncationError`
+  subclass) -- never an ``IndexError`` and never a silent partial
+  decode;
+* every *mutation* (byte flips) and arbitrary garbage either decodes
+  to a well-formed message or raises the same typed taxonomy;
+* the assembler never hangs or buffers unboundedly on garbage: it
+  either yields frames, raises, or asks for more bytes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compressors.base import CorruptionError, TruncationError
+from repro.core.linearize import Linearization
+from repro.serve.protocol import (
+    FLAG_AUTO,
+    Op,
+    Request,
+    RequestConfig,
+    Response,
+    Status,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    request_assembler,
+    response_assembler,
+)
+from repro.util.varint import decode_uvarint
+
+_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_ASCII_NAME = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    max_size=32,
+)
+
+_CONFIGS = st.builds(
+    RequestConfig,
+    codec=st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=16,
+    ),
+    chunk_bytes=st.integers(min_value=0, max_value=2**40),
+    high_bytes=st.integers(min_value=0, max_value=8),
+    linearization=st.sampled_from(list(Linearization)),
+    theta_milli=st.integers(min_value=0, max_value=10**7),
+)
+
+_REQUESTS = st.builds(
+    Request,
+    op=st.sampled_from(list(Op)),
+    request_id=st.integers(min_value=0, max_value=2**62),
+    payload=st.binary(max_size=2048),
+    tenant=_ASCII_NAME,
+    flags=st.sampled_from([0, FLAG_AUTO]),
+    config=st.none() | _CONFIGS,
+)
+
+_RESPONSES = st.builds(
+    Response,
+    status=st.sampled_from(list(Status)),
+    request_id=st.integers(min_value=0, max_value=2**62),
+    payload=st.binary(max_size=2048),
+    detail=st.text(max_size=200),
+)
+
+
+def _frame_body(frame: bytes) -> bytes:
+    """Strip the outer uvarint length prefix off a complete frame."""
+    length, pos = decode_uvarint(frame, 0)
+    assert pos + length == len(frame)
+    return frame[pos:]
+
+
+def _feed_sliced(assembler, frame: bytes, cuts: list[int]) -> list[bytes]:
+    """Feed ``frame`` in the pieces described by sorted ``cuts``."""
+    frames: list[bytes] = []
+    prev = 0
+    for cut in sorted(set(cuts)) + [len(frame)]:
+        frames.extend(assembler.feed(frame[prev:cut]))
+        prev = cut
+    return frames
+
+
+class TestRoundTrip:
+    @given(request=_REQUESTS, data=st.data())
+    @_SETTINGS
+    def test_request_round_trips_under_any_slicing(self, request, data):
+        frame = encode_request(request)
+        n_cuts = data.draw(st.integers(min_value=0, max_value=4))
+        cuts = [
+            data.draw(st.integers(min_value=0, max_value=len(frame)))
+            for _ in range(n_cuts)
+        ]
+        frames = _feed_sliced(request_assembler(), frame, cuts)
+        assert len(frames) == 1
+        assert decode_request(frames[0]) == request
+
+    @given(response=_RESPONSES, data=st.data())
+    @_SETTINGS
+    def test_response_round_trips_under_any_slicing(self, response, data):
+        frame = encode_response(response)
+        n_cuts = data.draw(st.integers(min_value=0, max_value=4))
+        cuts = [
+            data.draw(st.integers(min_value=0, max_value=len(frame)))
+            for _ in range(n_cuts)
+        ]
+        frames = _feed_sliced(response_assembler(), frame, cuts)
+        assert len(frames) == 1
+        assert decode_response(frames[0]) == response
+
+    @given(requests=st.lists(_REQUESTS, min_size=2, max_size=5))
+    @_SETTINGS
+    def test_back_to_back_frames_stay_delimited(self, requests):
+        stream = b"".join(encode_request(r) for r in requests)
+        frames = request_assembler().feed(stream)
+        assert [decode_request(f) for f in frames] == requests
+
+
+class TestTruncation:
+    @given(request=_REQUESTS, data=st.data())
+    @_SETTINGS
+    def test_any_truncated_request_raises_typed(self, request, data):
+        body = _frame_body(encode_request(request))
+        cut = data.draw(st.integers(min_value=0, max_value=len(body) - 1))
+        try:
+            decode_request(body[:cut])
+        except CorruptionError:
+            pass  # TruncationError included; both are the contract
+        else:
+            raise AssertionError(
+                f"decode_request accepted a {cut}/{len(body)}-byte prefix"
+            )
+
+    @given(response=_RESPONSES, data=st.data())
+    @_SETTINGS
+    def test_any_truncated_response_raises_typed(self, response, data):
+        body = _frame_body(encode_response(response))
+        cut = data.draw(st.integers(min_value=0, max_value=len(body) - 1))
+        try:
+            decode_response(body[:cut])
+        except CorruptionError:
+            pass
+        else:
+            raise AssertionError(
+                f"decode_response accepted a {cut}/{len(body)}-byte prefix"
+            )
+
+    def test_empty_body_is_truncation(self):
+        for decode in (decode_request, decode_response):
+            try:
+                decode(b"")
+            except TruncationError:
+                pass
+            else:  # pragma: no cover - contract violation
+                raise AssertionError("empty body decoded")
+
+
+class TestGarbage:
+    @given(junk=st.binary(max_size=512))
+    @_SETTINGS
+    def test_assembler_never_hangs_or_leaks_exceptions(self, junk):
+        assembler = request_assembler()
+        try:
+            frames = assembler.feed(junk)
+        except CorruptionError:
+            return  # typed rejection is the contract
+        for body in frames:  # pragma: no branch
+            try:
+                decode_request(body)
+            except CorruptionError:
+                pass
+
+    @given(request=_REQUESTS, data=st.data())
+    @_SETTINGS
+    def test_any_byte_flip_decodes_or_raises_typed(self, request, data):
+        body = bytearray(_frame_body(encode_request(request)))
+        offset = data.draw(
+            st.integers(min_value=0, max_value=len(body) - 1)
+        )
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        body[offset] ^= mask
+        try:
+            decoded = decode_request(bytes(body))
+        except CorruptionError:
+            return
+        # A flip inside the payload (or another free-form field) can
+        # still be a well-formed request -- just not the same one.
+        assert isinstance(decoded, Request)
+
+    def test_wrong_magic_rejected_on_first_bytes(self):
+        frame = encode_request(Request(op=Op.HEALTH, request_id=1))
+        bad = bytearray(frame)
+        bad[1] ^= 0xFF  # first magic byte inside the frame body
+        try:
+            request_assembler().feed(bytes(bad))
+        except CorruptionError:
+            return
+        raise AssertionError("assembler accepted a bad magic")

@@ -1,0 +1,127 @@
+"""Concurrency stress: many async clients, byte-identical answers.
+
+The acceptance bar from the serving design: >= 16 concurrent clients
+each firing a burst of interleaved compress/decompress requests, with
+every response byte-identical to the one-shot CLI path and the server's
+books balanced afterwards (acknowledged == answered, nothing in
+flight).  A second test replays a scaled-down stress run in a
+subprocess under ``REPRO_SANITIZE=1`` with leak warnings promoted to
+errors, proving the engine's shared-memory segments and views are all
+released when the server drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.datasets import generate_bytes
+from repro.serve.client import AsyncServeClient
+from repro.serve.protocol import RequestConfig
+
+from tests.serve.conftest import BASE_CONFIG
+from tests.serve.harness import reference_compress
+
+N_CLIENTS = 16
+N_REQUESTS = 4
+
+RC = RequestConfig(chunk_bytes=BASE_CONFIG.chunk_bytes)
+
+_KINDS = ("obs_temp", "num_plasma")
+
+
+def _payloads() -> list[bytes]:
+    """A few distinct multi-chunk payloads; index by client round."""
+    return [
+        generate_bytes(kind, 6 * 1024, seed=seed)
+        for kind in _KINDS
+        for seed in (5, 6)
+    ]
+
+
+def test_sixteen_clients_byte_identical(server):
+    payloads = _payloads()
+    references = [reference_compress(p, BASE_CONFIG) for p in payloads]
+    host, port = server.address
+
+    async def one_client(index: int) -> None:
+        async with await AsyncServeClient.open(host, port) as client:
+            for round_no in range(N_REQUESTS):
+                payload = payloads[(index + round_no) % len(payloads)]
+                expected = references[(index + round_no) % len(payloads)]
+                container = await client.compress(payload, config=RC)
+                assert container == expected, (
+                    f"client {index} round {round_no}: container differs "
+                    f"from the one-shot path"
+                )
+                restored = await client.decompress(container)
+                assert restored == payload
+
+    async def storm() -> None:
+        await asyncio.gather(*(one_client(i) for i in range(N_CLIENTS)))
+
+    asyncio.run(storm())
+
+    with server.client() as client:
+        doc = client.stat()
+    assert doc["server"]["acknowledged"] == doc["server"]["answered"]
+    assert doc["server"]["inflight_requests"] == 0
+    assert doc["server"]["inflight_bytes"] == 0
+
+
+_SANITIZE_SCRIPT = r"""
+import asyncio
+import warnings
+
+from repro.lint.sanitize import SanitizeLeakWarning
+from repro.core.primacy import PrimacyConfig
+from repro.serve.client import AsyncServeClient
+from repro.serve.daemon import PrimacyServer, ServeConfig
+from repro.serve.protocol import RequestConfig
+from repro.datasets import generate_bytes
+
+warnings.simplefilter("error", SanitizeLeakWarning)
+
+BASE = PrimacyConfig(chunk_bytes=2048)
+RC = RequestConfig(chunk_bytes=2048)
+PAYLOAD = generate_bytes("obs_temp", 6 * 1024, seed=5)
+
+
+async def main() -> None:
+    server = PrimacyServer(ServeConfig(workers=2, base=BASE))
+    await server.start()
+    host, port = server.address
+
+    async def one_client() -> None:
+        async with await AsyncServeClient.open(host, port) as client:
+            for _ in range(3):
+                container = await client.compress(PAYLOAD, config=RC)
+                assert await client.decompress(container) == PAYLOAD
+
+    await asyncio.gather(*(one_client() for _ in range(8)))
+    await server.drain()
+
+
+asyncio.run(main())
+print("SANITIZE_CLEAN")
+"""
+
+
+def test_stress_is_sanitizer_clean():
+    env = dict(os.environ)
+    env["REPRO_SANITIZE"] = "1"
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SANITIZE_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "SANITIZE_CLEAN" in proc.stdout
+    assert "REPRO_SANITIZE" not in proc.stderr, proc.stderr

@@ -226,3 +226,63 @@ class TestStatsCommand:
 
         assert main(["stats", str(f64_file), "--chunk-bytes", "8192"]) == 0
         assert not obs.enabled()
+
+
+class TestExitCodeContract:
+    """The process exit codes scripts and CI key off, pinned.
+
+    0 success, 1 operational error, 2 usage error (doubling as "fsck
+    found corruption"), 3 benchmark regression under ``--check``, 4
+    serve startup failure.  Changing any of these breaks callers; the
+    docstring of :mod:`repro.cli` documents the contract.
+    """
+
+    def test_constants_are_pinned(self):
+        from repro import cli
+
+        assert cli.EXIT_OK == 0
+        assert cli.EXIT_ERROR == 1
+        assert cli.EXIT_USAGE == 2
+        assert cli.EXIT_BENCH_REGRESSION == 3
+        assert cli.EXIT_SERVE_STARTUP == 4
+
+    def test_fsck_corruption_exits_2(self, f64_file, tmp_path, capsys):
+        out = tmp_path / "f.prif"
+        assert main(["pack", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        blob = bytearray(out.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        out.write_bytes(bytes(blob))
+        assert main(["fsck", str(out)]) == 2
+
+    def test_bench_regression_exits_3(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "impossible.json"
+        baseline.write_text(json.dumps(
+            {"results": {"obs_temp": {"compression_ratio": 1e9}}}
+        ))
+        assert main(["bench", "--datasets", "obs_temp",
+                     "--n-values", "2048",
+                     "--baseline", str(baseline), "--check"]) == 3
+
+    def test_bench_check_without_baseline_is_usage(self, capsys):
+        assert main(["bench", "--datasets", "obs_temp",
+                     "--n-values", "2048", "--check"]) == 2
+
+    def test_serve_startup_failure_exits_4(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 4
+        finally:
+            blocker.close()
+        assert "failed to start" in capsys.readouterr().err
+
+    def test_stats_remote_excludes_local_sources(self, f64_file, capsys):
+        assert main(["stats", str(f64_file),
+                     "--remote", "127.0.0.1:9"]) == 2
