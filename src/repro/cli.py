@@ -172,7 +172,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="--auto only: target transfer rate the planner optimizes "
         "end-to-end throughput against (default: 4)",
     )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="write a sharded archive directory with K parallel shard "
+        "writers instead of one PRIF file",
+    )
     p.set_defaults(func=_cmd_pack)
+
+    p = sub.add_parser(
+        "read",
+        help="read chunks or value ranges from a PRIF file or sharded "
+        "archive directory",
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the decompressed bytes here (default: summary only)",
+    )
+    g = p.add_mutually_exclusive_group(required=True)
+    g.add_argument("--chunk", type=int, default=None, metavar="I",
+                   help="read one chunk by global index")
+    g.add_argument("--range", type=int, nargs=2, default=None,
+                   metavar=("LO", "HI"), help="read chunks [LO, HI)")
+    g.add_argument("--values", type=int, nargs=2, default=None,
+                   metavar=("START", "COUNT"),
+                   help="read COUNT values starting at START")
+    p.set_defaults(func=_cmd_read)
+
+    p = sub.add_parser(
+        "compact",
+        help="rewrite a sharded archive into a balanced shard layout "
+        "(records copied verbatim, no recompression)",
+    )
+    p.add_argument("input", type=Path, help="source archive directory")
+    p.add_argument("output", type=Path, help="destination archive directory")
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="shard count of the new layout (default: same as source)",
+    )
+    p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser(
         "probe", help="sample a file and recommend whether to compress"
@@ -191,17 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "fsck",
-        help="walk a PRIF/PRCK file and localize the first corruption",
+        help="walk a PRIF/PRCK file or sharded archive directory and "
+        "localize the first corruption",
     )
     p.add_argument("input", type=Path)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of the summary",
+    )
     p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser(
         "salvage",
-        help="recover readable chunks from a damaged/truncated PRIF file",
+        help="recover readable chunks from a damaged/truncated PRIF "
+        "file or sharded archive directory",
     )
     p.add_argument("input", type=Path)
     p.add_argument("output", type=Path)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable recovered/lost-range report "
+        "instead of the summary",
+    )
     p.set_defaults(func=_cmd_salvage)
 
     p = sub.add_parser(
@@ -605,34 +654,117 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
-    from repro.storage import PrimacyFileWriter
+    from repro.storage import PrimacyFileWriter, ShardedArchiveWriter
 
     data = args.input.read_bytes()
     workers = args.workers if args.workers > 1 else None
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
     if args.auto:
         if IndexReusePolicy(args.index_policy) is not IndexReusePolicy.PER_CHUNK:
             print("error: --auto requires --index-policy per-chunk",
                   file=sys.stderr)
             return EXIT_USAGE
-        with PrimacyFileWriter(
-            args.output, planner=_planner_config(args), workers=workers
-        ) as writer:
-            writer.write(data)
+        if args.shards is not None:
+            with ShardedArchiveWriter(
+                args.output, planner=_planner_config(args),
+                shards=args.shards, workers=workers,
+            ) as writer:
+                writer.write(data)
+        else:
+            with PrimacyFileWriter(
+                args.output, planner=_planner_config(args), workers=workers
+            ) as writer:
+                writer.write(data)
         stats = writer.stats
         print(f"{len(data)} -> {stats.container_bytes} bytes  "
               f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}")
         _print_decisions(writer.decisions)
         return EXIT_OK
+    if args.shards is not None and (
+        IndexReusePolicy(args.index_policy) is not IndexReusePolicy.PER_CHUNK
+    ):
+        print("error: --shards requires --index-policy per-chunk",
+              file=sys.stderr)
+        return EXIT_USAGE
     config = PrimacyConfig(
         codec=args.codec,
         chunk_bytes=args.chunk_bytes,
         index_policy=IndexReusePolicy(args.index_policy),
     )
+    if args.shards is not None:
+        with ShardedArchiveWriter(
+            args.output, config, shards=args.shards, workers=workers
+        ) as writer:
+            writer.write(data)
+        stats = writer.stats
+        print(f"{len(data)} -> {stats.container_bytes} bytes  "
+              f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}  "
+              f"shards={args.shards}")
+        return EXIT_OK
     with PrimacyFileWriter(args.output, config, workers=workers) as writer:
         writer.write(data)
     stats = writer.stats
     print(f"{len(data)} -> {stats.container_bytes} bytes  "
           f"CR={stats.compression_ratio:.3f}  chunks={writer.n_chunks}")
+    return EXIT_OK
+
+
+def _cmd_read(args: argparse.Namespace) -> int:
+    from repro.compressors import CodecError
+    from repro.storage import PrimacyFileReader, ShardedArchiveReader
+
+    try:
+        if args.input.is_dir():
+            reader = ShardedArchiveReader(args.input)
+        else:
+            reader = PrimacyFileReader(args.input)
+    except (CodecError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    with reader:
+        try:
+            if args.chunk is not None:
+                data = reader.read_chunk(args.chunk)
+                what = f"chunk {args.chunk}"
+            elif args.range is not None:
+                lo, hi = args.range
+                data = reader.read_range(lo, hi)
+                what = f"chunks [{lo}, {hi})"
+            else:
+                start, count = args.values
+                data = reader.read_values(start, count)
+                what = f"values [{start}, {start + count})"
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except CodecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    if args.output is not None:
+        args.output.write_bytes(data)
+        print(f"read {what}: {len(data)} bytes -> {args.output}")
+    else:
+        print(f"read {what}: {len(data)} bytes")
+    return EXIT_OK
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.compressors import CodecError
+    from repro.storage import compact_archive
+
+    try:
+        manifest = compact_archive(
+            args.input, args.output, shards=args.shards
+        )
+    except (CodecError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    sizes = [s.file_bytes for s in manifest.shards]
+    print(f"compacted {args.input} -> {args.output}: "
+          f"{manifest.n_chunks} chunks across {len(manifest.shards)} "
+          f"shard(s), {min(sizes)}-{max(sizes)} bytes per shard")
     return EXIT_OK
 
 
@@ -682,24 +814,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    from repro.storage.verify import fsck
+    import json
 
-    report = fsck(args.input)
-    print(report.summary())
+    from repro.storage.verify import fsck, fsck_archive
+
+    if args.input.is_dir():
+        report = fsck_archive(args.input)
+    else:
+        report = fsck(args.input)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     return EXIT_OK if report.ok else EXIT_USAGE
 
 
 def _cmd_salvage(args: argparse.Namespace) -> int:
+    import json
+
     from repro.compressors import CodecError
-    from repro.storage.verify import salvage_prif
+    from repro.storage.verify import salvage_archive, salvage_prif
 
     try:
-        result = salvage_prif(args.input, args.output)
+        if args.input.is_dir():
+            result = salvage_archive(args.input, args.output)
+        else:
+            result = salvage_prif(args.input, args.output)
     except CodecError as exc:
         print(f"error: nothing salvageable: {exc}", file=sys.stderr)
         return EXIT_ERROR
-    print(result.summary())
-    print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        print(f"wrote {args.output}")
     return EXIT_OK if result.n_recovered else EXIT_ERROR
 
 
@@ -943,6 +1091,12 @@ def _remote_stats(args: argparse.Namespace) -> int:
         f"tasks={engine.get('tasks', 0)}  "
         f"busy={engine.get('busy_fraction', 0.0):.1%}"
     )
+    storage = doc.get("storage", {})
+    if storage:
+        print("storage:   " + "  ".join(
+            f"{name.split('.', 1)[1]}={value}"
+            for name, value in storage.items()
+        ))
     return EXIT_OK
 
 

@@ -580,7 +580,30 @@ class PrimacyServer:
                 ),
             },
             "engine": engine.stats.summary(),
+            "storage": _storage_doc(),
         }
+
+
+def _storage_doc() -> dict:
+    """Summarize the process-global storage/catalog counters.
+
+    The storage layer (PRIF readers/writers, sharded-archive catalog)
+    instruments the *global* obs registry, not the server's own, so a
+    daemon that also packs or serves range reads exposes that activity
+    here.  Counters are summed across label sets (e.g. per-shard write
+    bytes) to keep the stat document bounded.
+    """
+    from repro.obs.metrics import registry as _global_registry
+
+    totals: dict[str, float] = {}
+    snap = _global_registry().snapshot()
+    for name, _labels, value in snap["counters"]:
+        if name.startswith(("storage.", "catalog.")):
+            totals[name] = totals.get(name, 0.0) + value
+    return {
+        name: int(value) if float(value).is_integer() else round(value, 6)
+        for name, value in sorted(totals.items())
+    }
 
 
 def serve(

@@ -31,15 +31,33 @@ Robustness: decoding is fully bounds-checked (typed
 input), path writes are staged in ``*.tmp`` and published with
 fsync + atomic rename, and :mod:`repro.storage.verify` provides
 ``fsck``/``salvage`` for damaged files.
+
+Sharded archives (:mod:`repro.storage.catalog`) scale the same format
+out: a directory of independent PRIF shards packed by K concurrent
+writers plus a CRC-sealed manifest (``PRAC``) mapping global chunk
+index to ``(shard, offset, length)`` for O(1) range reads.
 """
 
+from repro.storage.catalog import (
+    ArchiveManifest,
+    CatalogEntry,
+    ShardedArchiveReader,
+    ShardedArchiveWriter,
+    ShardInfo,
+    compact_archive,
+    read_catalog,
+)
 from repro.storage.format import FileInfo, ChunkEntry
 from repro.storage.reader import PrimacyFileReader
 from repro.storage.stream import FrameAssembler, encode_frame
 from repro.storage.verify import (
+    ArchiveReport,
+    ArchiveSalvage,
     FsckReport,
     SalvageResult,
     fsck,
+    fsck_archive,
+    salvage_archive,
     salvage_prif,
 )
 from repro.storage.writer import PrimacyFileWriter
@@ -51,8 +69,19 @@ __all__ = [
     "ChunkEntry",
     "FrameAssembler",
     "encode_frame",
+    "ArchiveManifest",
+    "CatalogEntry",
+    "ShardInfo",
+    "ShardedArchiveWriter",
+    "ShardedArchiveReader",
+    "compact_archive",
+    "read_catalog",
+    "ArchiveReport",
+    "ArchiveSalvage",
     "FsckReport",
     "SalvageResult",
     "fsck",
+    "fsck_archive",
+    "salvage_archive",
     "salvage_prif",
 ]

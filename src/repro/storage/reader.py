@@ -21,6 +21,7 @@ import io
 import os
 import time
 from bisect import bisect_right
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
@@ -51,20 +52,69 @@ __all__ = ["PrimacyFileReader"]
 # names make them variable-length, so no fixed cap is correct).
 _HEADER_PROBE_BYTES = 4096
 
+# Parsed-metadata cache for path-opened readers, keyed by file identity
+# (path, inode, size, mtime): re-opening the same sealed file skips the
+# trailer seek, footer read, CRC, and table decode entirely.  FileInfo
+# is frozen, so entries are shared safely across readers.  Bounded LRU;
+# a rewritten file changes identity (atomic rename bumps the inode) and
+# simply misses.
+_METADATA_CACHE_SLOTS = 32
+_metadata_cache: "OrderedDict[tuple, tuple[FileInfo, int]]" = OrderedDict()
+
 
 class PrimacyFileReader:
-    """Read (ranges of) values from a PRIF file."""
+    """Read (ranges of) values from a PRIF file.
+
+    Metadata (header + footer + CRC) is parsed once on open; the
+    index-reuse chain state and per-chunk *before* indexes are memoized
+    on the handle, so repeated ``read_chunk`` / ``read_values`` calls
+    re-decode nothing but the requested payloads.  Path opens also hit
+    a process-wide parsed-metadata cache (``cache_metadata=False``
+    opts out, e.g. for fsck, which must re-verify the bytes on disk).
+    """
 
     def __init__(
-        self, source: str | os.PathLike | io.RawIOBase | io.BufferedIOBase
+        self,
+        source: str | os.PathLike | io.RawIOBase | io.BufferedIOBase,
+        *,
+        cache_metadata: bool = True,
     ) -> None:
+        cache_key = None
         if isinstance(source, (str, os.PathLike)):
-            self._fh = open(Path(source), "rb")
+            path = Path(source)
+            self._fh = open(path, "rb")
             self._owns_fh = True
+            if cache_metadata:
+                st = os.fstat(self._fh.fileno())
+                cache_key = (
+                    str(path.resolve()),
+                    st.st_ino,
+                    st.st_size,
+                    st.st_mtime_ns,
+                )
         else:
             self._fh = source
             self._owns_fh = False
-        self._load_metadata()
+        cached = (
+            _metadata_cache.get(cache_key) if cache_key is not None else None
+        )
+        if cached is not None:
+            _metadata_cache.move_to_end(cache_key)
+            self.info, self._header_len = cached
+            if _OBS_STATE.enabled:
+                _obs_metrics.registry().counter(
+                    "storage.read.metadata_cache_hit"
+                ).inc()
+        else:
+            self._load_metadata()
+            if cache_key is not None:
+                _metadata_cache[cache_key] = (self.info, self._header_len)
+                while len(_metadata_cache) > _METADATA_CACHE_SLOTS:
+                    _metadata_cache.popitem(last=False)
+                if _OBS_STATE.enabled:
+                    _obs_metrics.registry().counter(
+                        "storage.read.metadata_cache_miss"
+                    ).inc()
         try:
             self._compressor = PrimacyCompressor(self.info.config)
         except (KeyError, ValueError) as exc:
@@ -83,6 +133,9 @@ class PrimacyFileReader:
         # O(n_chunks) each time, so do it exactly once.
         self._cum_list: list[int] = self._cum_values.tolist()
         self._index_cache: dict[int, FrequencyIndex] = {}
+        # Resolved before-state per reuse chunk: a repeat read of the
+        # same chunk skips the chain walk (even its cache lookups).
+        self._index_before: dict[int, FrequencyIndex] = {}
 
     # ------------------------------------------------------------------
 
@@ -214,6 +267,22 @@ class PrimacyFileReader:
         offset = (start - self._cum_list[first]) * word
         return blob[offset : offset + count * word]
 
+    def read_chunk(self, chunk_id: int) -> bytes:
+        """Decompress one chunk by id (bounds-checked)."""
+        if not 0 <= chunk_id < self.n_chunks:
+            raise ValueError(
+                f"chunk {chunk_id} out of range [0, {self.n_chunks})"
+            )
+        return self._read_chunk(chunk_id)
+
+    def read_range(self, lo: int, hi: int) -> bytes:
+        """Decompress chunks ``[lo, hi)``, concatenated."""
+        if lo < 0 or hi < lo or hi > self.n_chunks:
+            raise ValueError(
+                f"chunk range [{lo}, {hi}) out of bounds [0, {self.n_chunks})"
+            )
+        return b"".join(self._read_chunk(i) for i in range(lo, hi))
+
     # ------------------------------------------------------------------
 
     def _record(self, chunk_id: int) -> bytes:
@@ -237,6 +306,9 @@ class PrimacyFileReader:
         entry = self.info.chunks[chunk_id]
         if entry.inline_index:
             return None  # record is self-contained
+        memo = self._index_before.get(chunk_id)
+        if memo is not None:
+            return memo
         high_bytes = self.info.config.high_bytes
         # Walk backwards to the nearest cached or inline chunk.
         base = entry.index_base
@@ -262,6 +334,7 @@ class PrimacyFileReader:
                 )
             index = index.extended(section)
             self._index_cache[mid] = index
+        self._index_before[chunk_id] = index
         return index
 
     def _index_section(self, chunk_id: int, high_bytes: int):

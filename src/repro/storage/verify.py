@@ -10,12 +10,23 @@ all) or partially corrupt (footer intact, some records damaged).
 
 Both power the ``primacy fsck`` / ``primacy salvage`` CLI subcommands
 and the fault-injection suite under ``tests/faults``.
+
+Sharded archives get the same treatment one level up:
+:func:`fsck_archive` verifies the catalog, then every shard in parallel
+(each shard is an ordinary PRIF file), cross-checking the catalog's
+chunk extents against each shard's own footer; :func:`salvage_archive`
+recovers through the catalog when it survived, and falls back to
+independent per-shard salvage when the writer died before sealing.
+Every report serializes with ``to_dict()`` so archive-level results
+compose per-shard ones under one JSON contract (``primacy fsck --json``
+/ ``primacy salvage --json``).
 """
 
 from __future__ import annotations
 
 import io
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,10 +42,14 @@ __all__ = [
     "FsckReport",
     "ChunkStatus",
     "SalvageResult",
+    "ArchiveReport",
+    "ArchiveSalvage",
     "fsck",
     "fsck_prif",
     "fsck_prck",
+    "fsck_archive",
     "salvage_prif",
+    "salvage_archive",
 ]
 
 _PRCK_MAGIC = b"PRCK"
@@ -56,6 +71,14 @@ class Finding:
     def __str__(self) -> str:
         where = f" @ byte {self.offset}" if self.offset is not None else ""
         return f"[{self.region}{where}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "region": self.region,
+            "message": self.message,
+            "offset": self.offset,
+        }
 
 
 @dataclass
@@ -95,6 +118,16 @@ class FsckReport:
         ]
         lines += [str(f) for f in self.findings]
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``primacy fsck --json`` contract)."""
+        return {
+            "format": self.format,
+            "ok": self.ok,
+            "n_chunks": self.n_chunks,
+            "n_chunks_ok": self.n_chunks_ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
 
 
 @dataclass(frozen=True)
@@ -143,6 +176,49 @@ class SalvageResult:
                 f"[{c.value_start}, {c.value_start + c.n_values}) {state}"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``primacy salvage --json`` contract).
+
+        ``recovered_ranges`` / ``lost_ranges`` are half-open ``[lo, hi)``
+        chunk-id intervals, so archive-level salvage can compose and a
+        caller can plan re-reads without walking the per-chunk list.
+        """
+        return {
+            "mode": self.mode,
+            "complete": self.complete,
+            "n_chunks": len(self.chunks),
+            "n_recovered": self.n_recovered,
+            "values_recovered": self.values_recovered,
+            "bytes_recovered": len(self.data) + len(self.tail),
+            "recovered_ranges": _chunk_ranges(self.chunks, recovered=True),
+            "lost_ranges": _chunk_ranges(self.chunks, recovered=False),
+            "chunks": [
+                {
+                    "chunk_id": c.chunk_id,
+                    "value_start": c.value_start,
+                    "n_values": c.n_values,
+                    "recovered": c.recovered,
+                    "reason": c.reason,
+                }
+                for c in self.chunks
+            ],
+        }
+
+
+def _chunk_ranges(
+    chunks: list[ChunkStatus], *, recovered: bool
+) -> list[list[int]]:
+    """Contiguous ``[lo, hi)`` chunk-id ranges with the given outcome."""
+    ranges: list[list[int]] = []
+    for c in chunks:
+        if c.recovered != recovered:
+            continue
+        if ranges and ranges[-1][1] == c.chunk_id:
+            ranges[-1][1] = c.chunk_id + 1
+        else:
+            ranges.append([c.chunk_id, c.chunk_id + 1])
+    return ranges
 
 
 # --------------------------------------------------------------------- #
@@ -445,3 +521,359 @@ def _write_out(dest, data: bytes) -> None:
         out.commit()
     else:
         dest.write(data)
+
+
+# --------------------------------------------------------------------- #
+# sharded archives                                                       #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ArchiveReport:
+    """fsck outcome for a sharded archive directory."""
+
+    directory: str
+    sealed: bool = False  # catalog present and structurally valid
+    findings: list[Finding] = field(default_factory=list)  # archive level
+    shards: dict[str, FsckReport] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when sealed and neither level found a violation."""
+        return (
+            self.sealed
+            and not self.findings
+            and all(r.ok for r in self.shards.values())
+        )
+
+    @property
+    def n_chunks(self) -> int:
+        """Chunks present across all shards."""
+        return sum(r.n_chunks for r in self.shards.values())
+
+    @property
+    def n_chunks_ok(self) -> int:
+        """Chunks verified end to end across all shards."""
+        return sum(r.n_chunks_ok for r in self.shards.values())
+
+    def add(self, region: str, message: str, offset: int | None = None) -> None:
+        """Record one archive-level violation."""
+        self.findings.append(
+            Finding(region=region, message=message, offset=offset)
+        )
+
+    def add_error(self, exc: CodecError, fallback_region: str) -> None:
+        """Record a typed decode error, reusing its location when present."""
+        region = getattr(exc, "region", None) or fallback_region
+        self.add(region, str(exc), getattr(exc, "offset", None))
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        n_bad = len(self.findings) + sum(
+            len(r.findings) for r in self.shards.values()
+        )
+        lines = [
+            "PRAC archive: "
+            + ("clean" if self.ok else f"{n_bad} problem(s)")
+            + ("" if self.sealed else " [UNSEALED]"),
+            f"shards: {len(self.shards)}, chunks verified: "
+            f"{self.n_chunks_ok}/{self.n_chunks}",
+        ]
+        lines += [str(f) for f in self.findings]
+        for name in sorted(self.shards):
+            sub = self.shards[name]
+            if sub.ok:
+                lines.append(f"  {name}: clean ({sub.n_chunks_ok} chunks)")
+            else:
+                lines.append(f"  {name}: {len(sub.findings)} problem(s)")
+                lines += [f"    {f}" for f in sub.findings]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form composing every shard's fsck contract."""
+        return {
+            "format": "PRAC",
+            "directory": self.directory,
+            "sealed": self.sealed,
+            "ok": self.ok,
+            "n_chunks": self.n_chunks,
+            "n_chunks_ok": self.n_chunks_ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "shards": {
+                name: report.to_dict()
+                for name, report in sorted(self.shards.items())
+            },
+        }
+
+
+def _fsck_shard_against_catalog(
+    path: Path, shard_info, entries: list
+) -> FsckReport:
+    """fsck one shard plus the catalog/footer cross-checks."""
+    report = FsckReport(format="PRIF")
+    if not path.exists():
+        report.add("file", f"shard file {path.name} is missing")
+        report.n_chunks = len(entries)
+        return report
+    size = path.stat().st_size
+    if size != shard_info.file_bytes:
+        report.add(
+            "file",
+            f"shard is {size} bytes but the catalog recorded "
+            f"{shard_info.file_bytes}",
+        )
+    report = _merge_into(report, fsck_prif(path))
+    if not report.ok:
+        return report
+    # The shard's own footer and the catalog describe the same records;
+    # any disagreement means one of them lies about extents.
+    with open(path, "rb") as fh:
+        chunks = PrimacyFileReader(fh).info.chunks
+    if len(chunks) != len(entries):
+        report.add(
+            "catalog",
+            f"catalog places {len(entries)} chunks here but the shard "
+            f"footer has {len(chunks)}",
+        )
+        return report
+    for i, (row, entry) in enumerate(zip(chunks, entries)):
+        if (row.offset, row.length, row.n_values) != (
+            entry.offset,
+            entry.length,
+            entry.n_values,
+        ):
+            report.add(
+                "catalog",
+                f"chunk {i}: catalog says (offset {entry.offset}, length "
+                f"{entry.length}, {entry.n_values} values), shard footer "
+                f"says (offset {row.offset}, length {row.length}, "
+                f"{row.n_values} values)",
+            )
+    return report
+
+
+def _merge_into(report: FsckReport, other: FsckReport) -> FsckReport:
+    """Fold ``other``'s counters and findings into ``report``."""
+    report.n_chunks += other.n_chunks
+    report.n_chunks_ok += other.n_chunks_ok
+    report.findings.extend(other.findings)
+    return report
+
+
+def fsck_archive(
+    directory: str | os.PathLike, *, workers: int | None = None
+) -> ArchiveReport:
+    """Verify a sharded archive: catalog first, then shards in parallel.
+
+    Shards are independent files, so their checks run concurrently on a
+    thread pool (record decoding releases the GIL in the NumPy kernels).
+    A missing or corrupt catalog marks the archive *unsealed*; every
+    shard file present is still fscked individually so damage localizes.
+    """
+    from repro.storage.catalog import read_catalog
+
+    directory = Path(directory)
+    report = ArchiveReport(directory=str(directory))
+    if not directory.is_dir():
+        report.add("archive", f"{directory} is not a directory")
+        return report
+    for tmp in sorted(directory.glob("*.tmp")):
+        report.add(
+            "archive",
+            f"leftover staging file {tmp.name} (writer crashed mid-pack)",
+        )
+    try:
+        manifest = read_catalog(directory)
+    except CodecError as exc:
+        report.sealed = False
+        report.add_error(exc, "catalog")
+        shard_paths = sorted(directory.glob("shard-*.prif"))
+        with ThreadPoolExecutor(
+            max_workers=workers or min(8, max(1, len(shard_paths)))
+        ) as pool:
+            for path, sub in zip(
+                shard_paths, pool.map(fsck_prif, shard_paths)
+            ):
+                report.shards[path.name] = sub
+        return report
+    report.sealed = True
+    per_shard: list[list] = [[] for _ in manifest.shards]
+    for entry in manifest.entries:
+        per_shard[entry.shard].append(entry)
+    jobs = [
+        (directory / info.name, info, per_shard[sid])
+        for sid, info in enumerate(manifest.shards)
+    ]
+    with ThreadPoolExecutor(
+        max_workers=workers or min(8, max(1, len(jobs)))
+    ) as pool:
+        for (path, info, _entries), sub in zip(
+            jobs,
+            pool.map(
+                lambda job: _fsck_shard_against_catalog(*job), jobs
+            ),
+        ):
+            report.shards[path.name] = sub
+    return report
+
+
+@dataclass
+class ArchiveSalvage:
+    """What salvage pulled out of a (possibly unsealed) archive."""
+
+    mode: str  # "catalog" (sealed) or "per-shard" (unsealed)
+    sealed: bool
+    shards: dict[str, SalvageResult] = field(default_factory=dict)
+    chunks: list[ChunkStatus] = field(default_factory=list)  # global order
+    data: bytes = b""  # catalog mode: global reassembly
+    tail: bytes = b""
+    complete: bool = False
+
+    @property
+    def n_recovered(self) -> int:
+        """Chunks recovered (global in catalog mode, summed otherwise)."""
+        if self.mode == "catalog":
+            return sum(1 for c in self.chunks if c.recovered)
+        return sum(r.n_recovered for r in self.shards.values())
+
+    @property
+    def values_recovered(self) -> int:
+        """Values recovered."""
+        if self.mode == "catalog":
+            return sum(c.n_values for c in self.chunks if c.recovered)
+        return sum(r.values_recovered for r in self.shards.values())
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        n_total = (
+            len(self.chunks)
+            if self.mode == "catalog"
+            else sum(len(r.chunks) for r in self.shards.values())
+        )
+        lines = [
+            f"archive salvage ({self.mode} mode"
+            + ("" if self.sealed else ", UNSEALED")
+            + f"): {self.n_recovered}/{n_total} chunks, "
+            f"{self.values_recovered} values"
+            + (" (complete)" if self.complete else ""),
+        ]
+        for name in sorted(self.shards):
+            sub = self.shards[name]
+            lines.append(
+                f"  {name}: {sub.n_recovered}/{len(sub.chunks)} chunks "
+                f"({sub.mode} mode)"
+            )
+        for c in self.chunks:
+            if not c.recovered:
+                lines.append(f"  chunk {c.chunk_id}: LOST ({c.reason})")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form composing every shard's salvage contract."""
+        return {
+            "format": "PRAC",
+            "mode": self.mode,
+            "sealed": self.sealed,
+            "complete": self.complete,
+            "n_chunks": len(self.chunks),
+            "n_recovered": self.n_recovered,
+            "values_recovered": self.values_recovered,
+            "bytes_recovered": len(self.data) + len(self.tail),
+            "recovered_ranges": _chunk_ranges(self.chunks, recovered=True),
+            "lost_ranges": _chunk_ranges(self.chunks, recovered=False),
+            "shards": {
+                name: result.to_dict()
+                for name, result in sorted(self.shards.items())
+            },
+        }
+
+
+def salvage_archive(
+    directory: str | os.PathLike,
+    dest: str | os.PathLike | None = None,
+) -> ArchiveSalvage:
+    """Recover whatever is readable from a sharded archive.
+
+    With a valid catalog, every global chunk is read straight off its
+    catalog extent and decoded independently (records are
+    self-contained under ``PER_CHUNK``), so damage in one shard loses
+    only that shard's chunks; ``dest`` receives the reassembled bytes.
+
+    Without a catalog (crashed writer), each published shard salvages
+    on its own -- global interleave order died with the writer, so the
+    result composes per-shard outcomes and ``dest`` (a directory)
+    receives one ``<shard>.bin`` per shard.
+    """
+    from repro.storage.catalog import read_catalog
+
+    directory = Path(directory)
+    try:
+        manifest = read_catalog(directory)
+    except CodecError:
+        result = ArchiveSalvage(mode="per-shard", sealed=False)
+        for path in sorted(directory.glob("shard-*.prif")):
+            result.shards[path.name] = salvage_prif(path)
+        if dest is not None:
+            dest = Path(dest)
+            dest.mkdir(parents=True, exist_ok=True)
+            for name, sub in result.shards.items():
+                _write_out(dest / f"{name}.bin", sub.data + sub.tail)
+        return result
+
+    result = ArchiveSalvage(mode="catalog", sealed=True)
+    try:
+        compressor = PrimacyCompressor(manifest.config)
+    except (KeyError, ValueError) as exc:
+        raise CorruptionError(
+            f"PRAC catalog names an unusable pipeline: {exc}",
+            region="catalog-header",
+        ) from exc
+    handles: dict[int, io.BufferedReader] = {}
+    parts: list[bytes] = []
+    value_start = 0
+    all_ok = True
+    try:
+        for gid, entry in enumerate(manifest.entries):
+            status_kwargs = dict(
+                chunk_id=gid,
+                value_start=value_start,
+                n_values=entry.n_values,
+            )
+            value_start += entry.n_values
+            try:
+                fh = handles.get(entry.shard)
+                if fh is None:
+                    fh = open(
+                        directory / manifest.shards[entry.shard].name, "rb"
+                    )
+                    handles[entry.shard] = fh
+                fh.seek(entry.offset)
+                record = fh.read(entry.length)
+                if len(record) != entry.length:
+                    raise TruncationError(
+                        "record truncated",
+                        region=f"shard[{entry.shard}]",
+                        offset=entry.offset,
+                    )
+                chunk, _ = compressor.decompress_chunk(record, None)
+            except (CodecError, OSError) as exc:
+                all_ok = False
+                result.chunks.append(
+                    ChunkStatus(
+                        recovered=False, reason=str(exc), **status_kwargs
+                    )
+                )
+            else:
+                parts.append(chunk)
+                result.chunks.append(
+                    ChunkStatus(recovered=True, **status_kwargs)
+                )
+    finally:
+        for fh in handles.values():
+            fh.close()
+    result.data = b"".join(parts)
+    result.tail = manifest.tail
+    result.complete = all_ok
+    if dest is not None:
+        _write_out(dest, result.data + result.tail)
+    return result

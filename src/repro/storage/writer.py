@@ -303,3 +303,14 @@ class PrimacyFileWriter:
     def n_chunks(self) -> int:
         """Number of chunks (written or still compressing)."""
         return len(self._chunks) + len(self._inflight)
+
+    def chunk_entries(self) -> tuple[ChunkEntry, ...]:
+        """The written chunk table (complete only after :meth:`close`).
+
+        Sharded-archive packing builds its global catalog from each
+        shard writer's table, so the rows are exposed read-only here
+        rather than re-parsed out of the finished file's footer.
+        """
+        if not self._closed:
+            raise ValueError("chunk table is complete only after close()")
+        return tuple(self._chunks)

@@ -1,0 +1,191 @@
+"""Fault-injection suite for sharded archives (repro.storage.catalog).
+
+Contract under test: a writer killed at *any* point leaves a directory
+that is either a complete, sealed archive or detectably unsealed --
+never a catalog describing bytes that are not on disk.  Shards that
+were already published before the kill remain individually valid and
+salvage byte-identically.
+
+The kill tests run a real pack in a subprocess and SIGKILL it at a
+deterministic point (between shard commits), reproducing the
+crash-mid-parallel-pack scenario without mocking the filesystem.
+Marked ``faults``; excluded from the default run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compressors import CodecError
+from repro.datasets import generate_bytes
+from repro.storage import fsck_archive, salvage_archive
+from repro.storage.catalog import (
+    CATALOG_NAME,
+    ShardedArchiveReader,
+    read_catalog,
+    shard_name,
+)
+
+from tests.faults.injector import run_until_killed
+
+CHUNK_BYTES = 4096
+N_VALUES = 16384  # 32 chunks of float64
+N_SHARDS = 4
+SEED = 23
+
+_KILL_BETWEEN_COMMITS_SCRIPT = """
+import time
+from pathlib import Path
+from repro.core import PrimacyConfig
+from repro.datasets import generate_bytes
+from repro.storage import ShardedArchiveWriter
+from repro.storage.writer import PrimacyFileWriter
+
+target = Path({target!r})
+ready = Path({ready!r})
+payload = generate_bytes("obs_temp", {n_values}, seed={seed})
+
+# Stall the pack right after the {committed}-th shard publishes, so the
+# SIGKILL lands between shard commits -- the classic torn parallel pack.
+orig_close = PrimacyFileWriter.close
+state = {{"commits": 0}}
+
+def stalling_close(self):
+    orig_close(self)
+    state["commits"] += 1
+    if state["commits"] == {committed}:
+        ready.touch()
+        time.sleep(120)
+
+PrimacyFileWriter.close = stalling_close
+
+with ShardedArchiveWriter(
+    target, PrimacyConfig(chunk_bytes={chunk_bytes}),
+    shards={shards}, workers=1,
+) as writer:
+    writer.write(payload)
+"""
+
+_KILL_ANYWHERE_SCRIPT = """
+from pathlib import Path
+from repro.core import PrimacyConfig
+from repro.datasets import generate_bytes
+from repro.storage import ShardedArchiveWriter
+
+target = Path({target!r})
+ready = Path({ready!r})
+payload = generate_bytes("obs_temp", {n_values}, seed={seed})
+
+for round_no in range(100000):
+    directory = target / str(round_no)
+    with ShardedArchiveWriter(
+        directory, PrimacyConfig(chunk_bytes={chunk_bytes}),
+        shards={shards}, workers=1,
+    ) as writer:
+        writer.write(payload)
+    if round_no == 1:
+        ready.touch()
+"""
+
+
+def _payload() -> bytes:
+    return generate_bytes("obs_temp", N_VALUES, seed=SEED)
+
+
+def _shard_slice(payload: bytes, sid: int, shards: int) -> bytes:
+    """The round-robin interleave dealt to shard ``sid``."""
+    n_chunks = len(payload) // CHUNK_BYTES
+    return b"".join(
+        payload[g * CHUNK_BYTES : (g + 1) * CHUNK_BYTES]
+        for g in range(sid, n_chunks, shards)
+    )
+
+
+@pytest.mark.faults
+class TestKillMidParallelPack:
+    @pytest.mark.parametrize("committed", [1, 2, 3])
+    def test_sigkill_between_shard_commits(self, tmp_path, committed):
+        """Kill after ``committed`` shards published, before the seal."""
+        target = tmp_path / f"arc_{committed}"
+        ready = tmp_path / f"ready_{committed}"
+        code = run_until_killed(
+            _KILL_BETWEEN_COMMITS_SCRIPT.format(
+                target=str(target),
+                ready=str(ready),
+                n_values=N_VALUES,
+                seed=SEED,
+                chunk_bytes=CHUNK_BYTES,
+                shards=N_SHARDS,
+                committed=committed,
+            ),
+            ready_file=ready,
+            timeout=120,
+        )
+        assert code == -9
+        payload = _payload()
+
+        # 1. The archive is detected as unsealed everywhere.
+        assert not (target / CATALOG_NAME).exists()
+        with pytest.raises(CodecError, match="unsealed"):
+            read_catalog(target)
+        with pytest.raises(CodecError):
+            ShardedArchiveReader(target)
+
+        # 2. fsck localizes the damage: unsealed archive, the published
+        #    shards individually clean, the unpublished ones only .tmp.
+        report = fsck_archive(target)
+        assert not report.sealed and not report.ok
+        published = {shard_name(sid) for sid in range(committed)}
+        assert set(report.shards) == published
+        assert all(report.shards[name].ok for name in published)
+        tmp_findings = [
+            f for f in report.findings if "leftover staging" in f.message
+        ]
+        assert len(tmp_findings) == N_SHARDS - committed
+
+        # 3. Salvage recovers every published shard byte-identically.
+        result = salvage_archive(target, tmp_path / f"out_{committed}")
+        assert result.mode == "per-shard" and not result.sealed
+        assert set(result.shards) == published
+        for sid in range(committed):
+            expected = _shard_slice(payload, sid, N_SHARDS)
+            assert result.shards[shard_name(sid)].data == expected
+            recovered = (
+                tmp_path / f"out_{committed}" / f"{shard_name(sid)}.bin"
+            ).read_bytes()
+            assert recovered == expected
+
+    @pytest.mark.parametrize("kill_after", [0.0, 0.02])
+    def test_sigkill_anywhere_never_publishes_torn_archive(
+        self, tmp_path, kill_after
+    ):
+        """Wherever the kill lands: sealed-and-complete, or unsealed."""
+        target = tmp_path / f"arcs_{kill_after}"
+        ready = tmp_path / f"ready_{kill_after}"
+        code = run_until_killed(
+            _KILL_ANYWHERE_SCRIPT.format(
+                target=str(target),
+                ready=str(ready),
+                n_values=N_VALUES,
+                seed=SEED,
+                chunk_bytes=CHUNK_BYTES,
+                shards=N_SHARDS,
+            ),
+            ready_file=ready,
+            kill_after=kill_after,
+            timeout=120,
+        )
+        assert code == -9
+        payload = _payload()
+        for directory in sorted(p for p in target.iterdir() if p.is_dir()):
+            if (directory / CATALOG_NAME).exists():
+                report = fsck_archive(directory)
+                assert report.ok, (
+                    f"{directory.name}: sealed archive fails fsck:\n"
+                    + report.summary()
+                )
+                with ShardedArchiveReader(directory) as reader:
+                    assert reader.read_all() == payload
+            else:
+                with pytest.raises(CodecError):
+                    ShardedArchiveReader(directory)

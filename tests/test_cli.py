@@ -125,6 +125,169 @@ class TestStorageCommands:
         assert out.read_bytes() == orig[:usable]
 
 
+class TestArchiveCommands:
+    """pack --shards / read / compact / fsck --json / salvage --json."""
+
+    @pytest.fixture
+    def archive_dir(self, f64_file, tmp_path):
+        arc = tmp_path / "arc"
+        assert main(["pack", str(f64_file), str(arc),
+                     "--shards", "2", "--chunk-bytes", "8192"]) == 0
+        return arc
+
+    @pytest.fixture
+    def prif_file(self, f64_file, tmp_path):
+        out = tmp_path / "data.prif"
+        assert main(["pack", str(f64_file), str(out),
+                     "--chunk-bytes", "8192"]) == 0
+        return out
+
+    def test_pack_shards_reports_layout(self, f64_file, tmp_path, capsys):
+        arc = tmp_path / "a"
+        assert main(["pack", str(f64_file), str(arc),
+                     "--shards", "2", "--chunk-bytes", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out and "chunks=4" in out
+        assert (arc / "catalog.prac").exists()
+        assert sorted(p.name for p in arc.glob("shard-*.prif")) == [
+            "shard-0000.prif", "shard-0001.prif",
+        ]
+
+    def test_pack_shards_requires_per_chunk(self, f64_file, tmp_path, capsys):
+        assert main(["pack", str(f64_file), str(tmp_path / "a"),
+                     "--shards", "2",
+                     "--index-policy", "first_chunk"]) == 2
+        assert "per-chunk" in capsys.readouterr().err
+
+    def test_pack_shards_rejects_zero(self, f64_file, tmp_path, capsys):
+        assert main(["pack", str(f64_file), str(tmp_path / "a"),
+                     "--shards", "0"]) == 2
+
+    def test_read_chunk_from_archive(self, archive_dir, f64_file,
+                                     tmp_path, capsys):
+        out = tmp_path / "chunk.bin"
+        assert main(["read", str(archive_dir), "--chunk", "1",
+                     "-o", str(out)]) == 0
+        assert "read chunk 1: 8192 bytes" in capsys.readouterr().out
+        assert out.read_bytes() == f64_file.read_bytes()[8192:16384]
+
+    def test_read_range_from_archive(self, archive_dir, f64_file,
+                                     tmp_path, capsys):
+        out = tmp_path / "range.bin"
+        assert main(["read", str(archive_dir), "--range", "0", "3",
+                     "-o", str(out)]) == 0
+        assert out.read_bytes() == f64_file.read_bytes()[: 3 * 8192]
+
+    def test_read_values_from_prif_file(self, prif_file, f64_file,
+                                        tmp_path, capsys):
+        out = tmp_path / "vals.bin"
+        assert main(["read", str(prif_file), "--values", "100", "50",
+                     "-o", str(out)]) == 0
+        assert out.read_bytes() == f64_file.read_bytes()[100 * 8 : 150 * 8]
+
+    def test_read_out_of_range_is_usage_error(self, archive_dir, capsys):
+        assert main(["read", str(archive_dir), "--chunk", "99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_read_missing_archive_is_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        missing.mkdir()
+        assert main(["read", str(missing), "--chunk", "0"]) == 1
+
+    def test_compact_rebalances(self, archive_dir, f64_file,
+                                tmp_path, capsys):
+        dest = tmp_path / "compacted"
+        assert main(["compact", str(archive_dir), str(dest),
+                     "--shards", "4"]) == 0
+        assert "4 shard(s)" in capsys.readouterr().out
+        assert main(["fsck", str(dest)]) == 0
+        out = tmp_path / "whole.bin"
+        capsys.readouterr()
+        assert main(["read", str(dest), "--range", "0", "4",
+                     "-o", str(out)]) == 0
+        assert out.read_bytes() == f64_file.read_bytes()[: 4 * 8192]
+
+    def test_compact_in_place_is_error(self, archive_dir, capsys):
+        assert main(["compact", str(archive_dir), str(archive_dir)]) == 1
+        assert "destination" in capsys.readouterr().err
+
+    def test_fsck_archive_json(self, archive_dir, capsys):
+        import json
+
+        assert main(["fsck", str(archive_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "PRAC"
+        assert doc["ok"] is True and doc["sealed"] is True
+        assert doc["n_chunks"] == doc["n_chunks_ok"] == 4
+        assert set(doc["shards"]) == {"shard-0000.prif", "shard-0001.prif"}
+
+    def test_fsck_json_on_damaged_archive(self, archive_dir, capsys):
+        import json
+
+        shard = archive_dir / "shard-0001.prif"
+        blob = bytearray(shard.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        assert main(["fsck", str(archive_dir), "--json"]) == 2
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["shards"]["shard-0000.prif"]["ok"] is True
+        assert doc["shards"]["shard-0001.prif"]["ok"] is False
+
+    def test_fsck_prif_file_json(self, prif_file, capsys):
+        import json
+
+        assert main(["fsck", str(prif_file), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "PRIF" and doc["ok"] is True
+
+    def test_salvage_archive_json(self, archive_dir, tmp_path, capsys):
+        import json
+
+        shard = archive_dir / "shard-0001.prif"
+        blob = bytearray(shard.read_bytes())
+        blob[-40] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        assert main(["salvage", str(archive_dir),
+                     str(tmp_path / "rescued.bin"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "catalog" and doc["complete"] is False
+        assert doc["n_chunks"] == 4
+        flat = [i for lo, hi in doc["recovered_ranges"]
+                for i in range(lo, hi)]
+        lost = [i for lo, hi in doc["lost_ranges"] for i in range(lo, hi)]
+        assert sorted(flat + lost) == [0, 1, 2, 3]
+        assert doc["n_recovered"] == len(flat) >= 2
+
+    def test_salvage_prif_json(self, prif_file, tmp_path, capsys):
+        import json
+
+        blob = bytearray(prif_file.read_bytes())
+        prif_file.write_bytes(bytes(blob[:-7]))  # torn trailer
+        assert main(["salvage", str(prif_file),
+                     str(tmp_path / "out.bin"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_recovered"] == 4
+        assert doc["recovered_ranges"] == [[0, 4]]
+        assert doc["lost_ranges"] == []
+
+    def test_read_whole_archive_matches_monolithic(self, f64_file,
+                                                   tmp_path, capsys):
+        arc = tmp_path / "arc"
+        mono = tmp_path / "mono.prif"
+        assert main(["pack", str(f64_file), str(arc),
+                     "--shards", "3", "--chunk-bytes", "8192"]) == 0
+        assert main(["pack", str(f64_file), str(mono),
+                     "--chunk-bytes", "8192"]) == 0
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        assert main(["read", str(arc), "--values", "0", "512",
+                     "-o", str(a)]) == 0
+        assert main(["read", str(mono), "--values", "0", "512",
+                     "-o", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestReportCommand:
     def test_report_to_stdout(self, capsys):
         assert main(["report", "obs_temp", "--n-values", "1024"]) == 0
